@@ -1,0 +1,101 @@
+// Command ndsim regenerates the evaluation figures of the NetDiagnoser
+// paper (CoNEXT 2007) on the simulated research-Internet topology. Each
+// figure's data is printed as a summary and written as CSV.
+//
+// Usage:
+//
+//	ndsim [-figures all|fig5,fig7,...] [-scale N] [-seed S] [-out dir]
+//
+// -scale divides the paper's 10 placements x 100 failures per scenario;
+// -scale 1 is the full paper scale (slow), -scale 10 a quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"netdiag/internal/experiment"
+)
+
+type figureFunc func(experiment.Config) (*experiment.Figure, error)
+
+var figures = []struct {
+	id   string
+	fn   figureFunc
+	desc string
+}{
+	{"fig5", experiment.Figure5, "sensor placement vs diagnosability"},
+	{"fig6", experiment.Figure6, "Tomo under different failure scenarios"},
+	{"fig7", experiment.Figure7, "sensitivity of Tomo vs ND-edge"},
+	{"fig8", experiment.Figure8, "specificity of ND-edge"},
+	{"fig9", experiment.Figure9, "diagnosability vs specificity"},
+	{"fig10", experiment.Figure10, "ND-edge vs ND-bgpigp"},
+	{"fig11", experiment.Figure11, "the effect of blocked traceroutes"},
+	{"fig12", experiment.Figure12, "the effect of Looking Glass servers"},
+	{"router", experiment.RouterFailureStudy, "router failures (§5.2 text)"},
+	{"aslevel", experiment.ASLevelStudy, "AS-level accuracy of ND-edge (§5.2 text)"},
+	{"asxpos", experiment.ASXPositionStudy, "AS-X position (§5.3 text)"},
+	{"ablation", experiment.AblationStudy, "feature ablation (beyond paper)"},
+	{"scalability", experiment.ScalabilityStudy, "logical-link granularity §3.1 (beyond paper)"},
+	{"paris", experiment.ParisStudy, "multipath topology discovery §2.2 (beyond paper)"},
+	{"scfs", experiment.SCFSStudy, "SCFS tree baseline vs Tomo §2.1-2.2 (beyond paper)"},
+	{"placement", experiment.PlacementOptStudy, "greedy sensor placement (beyond paper)"},
+	{"skew", experiment.SkewStudy, "measurement synchronization robustness §6 (beyond paper)"},
+}
+
+func main() {
+	var (
+		which = flag.String("figures", "all", "comma-separated figure ids, or 'all'")
+		scale = flag.Int("scale", 5, "divide the paper's run counts by this factor (1 = full scale)")
+		seed  = flag.Int64("seed", 2007, "simulation seed")
+		out   = flag.String("out", "results", "directory for CSV output")
+		list  = flag.Bool("list", false, "list available figures and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range figures {
+			fmt.Printf("%-10s %s\n", f.id, f.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *which != "all" {
+		for _, id := range strings.Split(*which, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	cfg := experiment.DefaultConfig(*seed).Scaled(*scale)
+	fmt.Printf("ndsim: seed=%d scale=1/%d (%d placements x %d failures per scenario)\n\n",
+		*seed, *scale, cfg.Placements, cfg.FailuresPerPlacement)
+
+	ran := 0
+	for _, f := range figures {
+		if *which != "all" && !want[f.id] {
+			continue
+		}
+		start := time.Now()
+		fig, err := f.fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndsim: %s failed: %v\n", f.id, err)
+			os.Exit(1)
+		}
+		fig.Render(os.Stdout)
+		fmt.Printf("  (%s in %v)\n\n", f.id, time.Since(start).Round(time.Millisecond))
+		if err := fig.WriteCSV(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "ndsim: writing CSV for %s: %v\n", f.id, err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "ndsim: no figures matched %q (use -list)\n", *which)
+		os.Exit(1)
+	}
+	fmt.Printf("ndsim: wrote CSV for %d figure(s) to %s/\n", ran, *out)
+}

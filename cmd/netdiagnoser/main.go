@@ -1,0 +1,137 @@
+// Command netdiagnoser runs the NetDiagnoser diagnosis algorithms on a
+// measurement scenario file (JSON; see internal/scenario for the format)
+// and prints the hypothesis set of failed links.
+//
+// Usage:
+//
+//	netdiagnoser -algo tomo|nd-edge|nd-bgpigp [-json] scenario.json
+//
+// The scenario holds the full-mesh traceroutes before and after the
+// failure event, plus optional routing observations (IGP link-downs and
+// BGP withdrawals) for nd-bgpigp.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netdiag/internal/core"
+	"netdiag/internal/scenario"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "nd-edge", "algorithm: tomo, nd-edge, nd-bgpigp, nd-lg")
+		asJSON  = flag.Bool("json", false, "emit the hypothesis as JSON")
+		verbose = flag.Bool("v", false, "print per-link attribution detail")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: netdiagnoser [-algo tomo|nd-edge|nd-bgpigp|nd-lg] [-json] scenario.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	sc, err := scenario.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	meas, err := sc.Measurements()
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *core.Result
+	switch strings.ToLower(*algo) {
+	case "tomo":
+		res, err = core.Tomo(meas)
+	case "nd-edge", "ndedge":
+		res, err = core.NDEdge(meas)
+	case "nd-bgpigp", "ndbgpigp":
+		ri := sc.RoutingInfo()
+		if ri == nil {
+			fatal(fmt.Errorf("nd-bgpigp requires a \"routing\" section in the scenario"))
+		}
+		res, err = core.NDBgpIgp(meas, ri)
+	case "nd-lg", "ndlg":
+		lg := sc.LG()
+		if lg == nil {
+			fatal(fmt.Errorf("nd-lg requires a \"looking_glasses\" section in the scenario"))
+		}
+		ri := sc.RoutingInfo()
+		if ri == nil {
+			ri = &core.RoutingInfo{}
+		}
+		res, err = core.NDLG(meas, ri, lg)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		type jsonLink struct {
+			Link string `json:"link"`
+			Phys string `json:"phys,omitempty"`
+			ASes []int  `json:"ases,omitempty"`
+		}
+		out := struct {
+			Algorithm   string     `json:"algorithm"`
+			Hypothesis  []jsonLink `json:"hypothesis"`
+			Unexplained int        `json:"unexplained_failures"`
+		}{Algorithm: *algo, Unexplained: res.UnexplainedFailures}
+		for _, h := range res.Hypothesis {
+			jl := jsonLink{Link: display(h.Link)}
+			if h.PhysKnown {
+				jl.Phys = h.Phys.String()
+			}
+			for _, a := range h.ASes {
+				jl.ASes = append(jl.ASes, int(a))
+			}
+			out.Hypothesis = append(out.Hypothesis, jl)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("%s hypothesis set (%d links, %d greedy iterations):\n",
+		*algo, len(res.Hypothesis), res.Iterations)
+	for _, h := range res.Hypothesis {
+		if *verbose {
+			extra := ""
+			if h.PhysKnown && display(h.Link) != h.Phys.String() {
+				extra = fmt.Sprintf("  [physical %s]", h.Phys)
+			}
+			fmt.Printf("  %-40s ASes %v%s\n", display(h.Link), h.ASes, extra)
+		} else {
+			fmt.Printf("  %s\n", display(h.Link))
+		}
+	}
+	if res.UnexplainedFailures > 0 {
+		fmt.Printf("warning: %d failed path(s) could not be explained (inconsistent measurements?)\n",
+			res.UnexplainedFailures)
+	}
+	if suspects := res.ASes(); len(suspects) > 0 {
+		fmt.Printf("suspect ASes: %v\n", suspects)
+	}
+}
+
+func display(l core.Link) string {
+	return core.Display(l.From) + "->" + core.Display(l.To)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netdiagnoser:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command topogen generates the paper's research-Internet evaluation
+// topology (or the small Figure 1/2 example topologies) and dumps it as
+// JSON or Graphviz DOT.
+//
+// Usage:
+//
+//	topogen [-kind research|fig1|fig2] [-seed S] [-format json|dot] [-stats]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"netdiag/internal/scenario"
+	"netdiag/internal/topology"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "research", "topology: research, fig1, fig2")
+		seed   = flag.Int64("seed", 2007, "generator seed (research only)")
+		format = flag.String("format", "json", "output: json or dot")
+		stats  = flag.Bool("stats", false, "print summary statistics instead of a dump")
+	)
+	flag.Parse()
+
+	var topo *topology.Topology
+	switch *kind {
+	case "research":
+		res, err := topology.GenerateResearch(topology.DefaultResearchConfig(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		topo = res.Topo
+	case "fig1":
+		topo = topology.BuildFig1().Topo
+	case "fig2":
+		topo = topology.BuildFig2().Topo
+	default:
+		fatal(fmt.Errorf("unknown topology kind %q", *kind))
+	}
+
+	if *stats {
+		kinds := map[topology.ASKind]int{}
+		for _, asn := range topo.ASNumbers() {
+			kinds[topo.AS(asn).Kind]++
+		}
+		intra, inter := 0, 0
+		for _, l := range topo.Links() {
+			if l.Kind == topology.Intra {
+				intra++
+			} else {
+				inter++
+			}
+		}
+		fmt.Printf("ASes: %d (%d core, %d tier-2, %d stub)\n",
+			len(topo.ASNumbers()), kinds[topology.Core], kinds[topology.Tier2], kinds[topology.Stub])
+		fmt.Printf("routers: %d\nlinks: %d (%d intra-AS, %d inter-AS)\n",
+			topo.NumRouters(), topo.NumLinks(), intra, inter)
+		return
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(scenario.DumpTopology(topo)); err != nil {
+			fatal(err)
+		}
+	case "dot":
+		if err := scenario.WriteDOT(os.Stdout, topo); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

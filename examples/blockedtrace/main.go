@@ -1,0 +1,149 @@
+// Blockedtrace: some ASes block traceroute, hiding their routers behind
+// "*" hops. A failure inside a blocked AS cannot be pinned to a link, but
+// ND-LG maps the unidentified hops to ASes using Looking Glass AS-path
+// queries and still names the AS responsible (paper §3.4).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"netdiag"
+)
+
+func main() {
+	research, err := netdiag.GenerateResearch(2007)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := research.Topo
+
+	rng := rand.New(rand.NewSource(23))
+	var sensors []netdiag.RouterID
+	var origins []netdiag.ASN
+	for _, idx := range rng.Perm(len(research.Stubs))[:10] {
+		as := research.Stubs[idx]
+		origins = append(origins, as)
+		sensors = append(sensors, topo.AS(as).Routers[0])
+	}
+	net, err := netdiag.NewNetwork(topo, origins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := net.Mesh(sensors)
+	beforeBGP := net.BGP()
+	asx := research.Cores[0]
+
+	// Collect candidate faults: probed intra-AS links of transit ASes
+	// (each paired with blocking that AS), then try them until one breaks
+	// a sensor pair — reroutable failures never invoke the troubleshooter.
+	sensorAS := map[netdiag.ASN]bool{}
+	for _, a := range origins {
+		sensorAS[a] = true
+	}
+	var cands []cand
+	for _, l := range netdiag.ProbedLinks(topo, before) {
+		ra, _ := topo.RouterByAddr(string(l.From))
+		rb, _ := topo.RouterByAddr(string(l.To))
+		if ra.AS != rb.AS || sensorAS[ra.AS] || ra.AS == asx {
+			continue
+		}
+		if pl, ok := topo.LinkBetween(ra.ID, rb.ID); ok {
+			cands = append(cands, cand{as: ra.AS, link: pl.ID})
+		}
+	}
+	if len(cands) == 0 {
+		log.Fatal("no probed intra-AS transit links; try another seed")
+	}
+
+	var blockedAS netdiag.ASN
+	var after *netdiag.Mesh
+	for _, c := range rngShuffle(rng, cands) {
+		net.FailLink(c.link)
+		if err := net.Reconverge(); err != nil {
+			log.Fatal(err)
+		}
+		m := net.Mesh(sensors)
+		if m.AnyFailed() {
+			blockedAS, after = c.as, m
+			break
+		}
+		net.RestoreLink(c.link)
+		if err := net.Reconverge(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if after == nil {
+		log.Fatal("every candidate failure was rerouted; try another seed")
+	}
+	blocked := map[netdiag.ASN]bool{blockedAS: true}
+	fmt.Printf("blocking traceroute in %s and failing one of its internal links\n\n",
+		topo.AS(blockedAS).Name)
+
+	// The troubleshooter sees masked meshes: hops in the blocked AS are
+	// stars.
+	bm, am := before.Mask(blocked), after.Mask(blocked)
+	for i := range am.Paths {
+		for j, p := range am.Paths[i] {
+			if i != j && !p.OK {
+				fmt.Printf("first failed traceroute (%d->%d): %s\n", i, j, bm.Paths[i][j])
+				goto found
+			}
+		}
+	}
+found:
+	meas := netdiag.ToMeasurements(bm, am)
+	routing := &netdiag.RoutingInfo{
+		ASX: asx,
+		Withdrawals: netdiag.AdaptWithdrawals(topo,
+			netdiag.ObserveWithdrawals(topo, beforeBGP, net.BGP(), asx), origins),
+	}
+	lg := netdiag.NewLookingGlassRegistry(net.BGP(), beforeBGP, nil, asx, prefixes(origins))
+
+	// ND-bgpigp ignores unidentified links: it cannot see into the
+	// blocked AS.
+	bgpigp, err := netdiag.NDBgpIgp(meas, routing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ND-LG maps the stars to ASes via Looking Glasses.
+	ndlg, err := netdiag.NDLG(meas, routing, lg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nground truth: failed link lies in %s (AS%d)\n", topo.AS(blockedAS).Name, blockedAS)
+	fmt.Printf("ND-bgpigp suspect ASes: %v  (blames the visible neighbors)\n", bgpigp.ASes())
+	fmt.Printf("ND-LG     suspect ASes: %v\n", ndlg.ASes())
+	fmt.Printf("ND-LG found the blocked AS: %v\n", containsAS(ndlg.ASes(), blockedAS))
+}
+
+// cand pairs a blockable transit AS with one of its probed internal links.
+type cand struct {
+	as   netdiag.ASN
+	link netdiag.LinkID
+}
+
+func rngShuffle(rng *rand.Rand, cs []cand) []cand {
+	out := append([]cand{}, cs...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func prefixes(origins []netdiag.ASN) []netdiag.Prefix {
+	out := make([]netdiag.Prefix, len(origins))
+	for i, as := range origins {
+		out[i] = netdiag.PrefixFor(as)
+	}
+	return out
+}
+
+func containsAS(ases []netdiag.ASN, want netdiag.ASN) bool {
+	for _, a := range ases {
+		if a == want {
+			return true
+		}
+	}
+	return false
+}

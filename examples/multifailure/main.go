@@ -1,0 +1,134 @@
+// Multifailure: on the paper's 165-AS research-Internet topology, fail
+// three links at once. Some failures are recovered by rerouting, others
+// break sensor pairs. Tomo (which ignores rerouted paths) misses the
+// rerouted failures; ND-edge recovers them from reroute sets; ND-bgpigp
+// additionally tightens the hypothesis with AS-X's BGP withdrawals.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"netdiag"
+)
+
+func main() {
+	research, err := netdiag.GenerateResearch(2007)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := research.Topo
+
+	// Ten sensors at random stub ASes, as in the paper's evaluation.
+	rng := rand.New(rand.NewSource(11))
+	var sensors []netdiag.RouterID
+	var origins []netdiag.ASN
+	for _, idx := range rng.Perm(len(research.Stubs))[:10] {
+		as := research.Stubs[idx]
+		origins = append(origins, as)
+		sensors = append(sensors, topo.AS(as).Routers[0])
+	}
+	net, err := netdiag.NewNetwork(topo, origins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := net.Mesh(sensors)
+	beforeBGP := net.BGP()
+	universe := netdiag.ProbedLinks(topo, before)
+	fmt.Printf("overlay: 10 sensors, %d probed directed links, diagnosability %.2f\n",
+		len(universe), netdiag.Diagnosability(netdiag.ToMeasurements(before, before).Before))
+
+	// Fail three random probed links (retry until some pair breaks).
+	asx := research.Cores[0] // the troubleshooter: Abilene
+	var truth []netdiag.Link
+	var after *netdiag.Mesh
+	for {
+		var fail []netdiag.LinkID
+		seen := map[netdiag.LinkID]bool{}
+		for len(fail) < 3 {
+			l := universe[rng.Intn(len(universe))]
+			ra, _ := topo.RouterByAddr(string(l.From))
+			rb, _ := topo.RouterByAddr(string(l.To))
+			pl, _ := topo.LinkBetween(ra.ID, rb.ID)
+			if !seen[pl.ID] {
+				seen[pl.ID] = true
+				fail = append(fail, pl.ID)
+			}
+		}
+		for _, id := range fail {
+			net.FailLink(id)
+		}
+		if err := net.Reconverge(); err != nil {
+			log.Fatal(err)
+		}
+		after = net.Mesh(sensors)
+		if after.AnyFailed() {
+			truth = truth[:0]
+			inE := map[netdiag.Link]bool{}
+			for _, l := range universe {
+				inE[l] = true
+			}
+			for _, id := range fail {
+				pl := topo.Link(id)
+				a, b := topo.Router(pl.A).Addr, topo.Router(pl.B).Addr
+				for _, cand := range []netdiag.Link{
+					{From: netdiag.Node(a), To: netdiag.Node(b)},
+					{From: netdiag.Node(b), To: netdiag.Node(a)},
+				} {
+					if inE[cand] {
+						truth = append(truth, cand)
+					}
+				}
+				fmt.Printf("failed link: %s -- %s\n", topo.Router(pl.A).Name, topo.Router(pl.B).Name)
+			}
+			break
+		}
+		// All three failures were rerouted: the troubleshooter would not
+		// even be invoked. Reset and draw again.
+		for _, id := range fail {
+			net.RestoreLink(id)
+		}
+		if err := net.Reconverge(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	failedPairs := 0
+	r := after.Reachability()
+	for i := range r {
+		for j := range r[i] {
+			if !r[i][j] {
+				failedPairs++
+			}
+		}
+	}
+	fmt.Printf("%d of 90 sensor pairs became unreachable\n\n", failedPairs)
+
+	meas := netdiag.ToMeasurements(before, after)
+	routing := &netdiag.RoutingInfo{
+		ASX:          asx,
+		IGPDownLinks: netdiag.AdaptIGPDowns(net, asx),
+		Withdrawals: netdiag.AdaptWithdrawals(topo,
+			netdiag.ObserveWithdrawals(topo, beforeBGP, net.BGP(), asx), origins),
+	}
+
+	report := func(name string, res *netdiag.Result, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s |H|=%2d  sensitivity %.2f  specificity %.3f\n",
+			name, len(res.PhysLinks()),
+			netdiag.Sensitivity(truth, res.PhysLinks()),
+			netdiag.Specificity(universe, truth, res.PhysLinks()))
+	}
+	tomo, err := netdiag.Tomo(meas)
+	report("Tomo", tomo, err)
+	edge, err := netdiag.NDEdge(meas)
+	report("ND-edge", edge, err)
+	bgpigp, err := netdiag.NDBgpIgp(meas, routing)
+	report("ND-bgpigp", bgpigp, err)
+
+	fmt.Printf("\nAS-X (%s) observed %d BGP withdrawal(s) and %d IGP link-down(s)\n",
+		topo.AS(asx).Name, len(routing.Withdrawals), len(routing.IGPDownLinks)/2)
+}

@@ -1,0 +1,74 @@
+// Quickstart: build the paper's Figure 2 internetwork, break a link inside
+// stub AS-B, run full-mesh traceroutes before and after, and let Tomo and
+// ND-edge localize the failure from the end-to-end observations alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netdiag"
+)
+
+func main() {
+	// The Figure 2 topology: stub ASes A, B, C host sensors s1, s2, s3;
+	// AS-X (the troubleshooter) and AS-Y provide transit.
+	fig := netdiag.BuildFig2()
+	net, err := netdiag.NewNetwork(fig.Topo, []netdiag.ASN{fig.ASA, fig.ASB, fig.ASC})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensors := []netdiag.RouterID{fig.S1, fig.S2, fig.S3}
+
+	// T-: measure the healthy network.
+	before := net.Mesh(sensors)
+	fmt.Println("healthy paths:")
+	fmt.Println("  s1->s2:", before.Paths[0][1])
+	fmt.Println("  s1->s3:", before.Paths[0][2])
+
+	// The failure event: the b1-b2 link inside AS-B dies.
+	link, _ := fig.Topo.LinkBetween(fig.R["b1"], fig.R["b2"])
+	net.FailLink(link.ID)
+	if err := net.Reconverge(); err != nil {
+		log.Fatal(err)
+	}
+
+	// T+: re-measure.
+	after := net.Mesh(sensors)
+	fmt.Println("\nafter b1-b2 fails:")
+	fmt.Println("  s1->s2:", after.Paths[0][1])
+	fmt.Println("  s1->s3:", after.Paths[0][2])
+
+	// Diagnose from the measurements.
+	meas := netdiag.ToMeasurements(before, after)
+
+	tomo, err := netdiag.Tomo(meas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	edge, err := netdiag.NDEdge(meas)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nTomo hypothesis (candidate failed links):")
+	for _, h := range tomo.Hypothesis {
+		fmt.Printf("  %s -> %s\n", netdiag.DisplayNode(h.Link.From), netdiag.DisplayNode(h.Link.To))
+	}
+	fmt.Println("ND-edge hypothesis:")
+	for _, h := range edge.Hypothesis {
+		fmt.Printf("  %s -> %s  (ASes %v)\n",
+			netdiag.DisplayNode(h.Link.From), netdiag.DisplayNode(h.Link.To), h.ASes)
+	}
+
+	// Score against the ground truth.
+	b1 := fig.Topo.Router(fig.R["b1"]).Addr
+	b2 := fig.Topo.Router(fig.R["b2"]).Addr
+	truth := []netdiag.Link{{From: netdiag.Node(b1), To: netdiag.Node(b2)},
+		{From: netdiag.Node(b2), To: netdiag.Node(b1)}}
+	universe := netdiag.ProbedLinks(fig.Topo, before)
+	fmt.Printf("\nND-edge sensitivity %.2f, specificity %.2f over %d probed links\n",
+		netdiag.Sensitivity(truth, edge.PhysLinks()),
+		netdiag.Specificity(universe, truth, edge.PhysLinks()),
+		len(universe))
+}

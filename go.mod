@@ -1,0 +1,3 @@
+module netdiag
+
+go 1.22

@@ -1,0 +1,56 @@
+package bgp
+
+import (
+	"testing"
+
+	"netdiag/internal/igp"
+	"netdiag/internal/topology"
+)
+
+// BenchmarkConvergence measures a full path-vector convergence of the
+// 165-AS research topology with 10 announced prefixes — the dominant cost
+// of every simulated failure trial.
+func BenchmarkConvergence(b *testing.B) {
+	res, err := topology.GenerateResearch(topology.DefaultResearchConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	origins := map[Prefix]topology.ASN{}
+	for i := 0; i < 10; i++ {
+		s := res.Stubs[i*13]
+		origins[PrefixFor(s)] = s
+	}
+	up := func(topology.LinkID) bool { return true }
+	ig := igp.New(res.Topo, up)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(Config{Topo: res.Topo, IGP: ig, IsLinkUp: up, Origins: origins}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecisionProcess measures the per-router decision step in
+// isolation on a converged state.
+func BenchmarkDecisionProcess(b *testing.B) {
+	f := topology.BuildFig2()
+	up := func(topology.LinkID) bool { return true }
+	st, err := Compute(Config{
+		Topo: f.Topo, IGP: igp.New(f.Topo, up), IsLinkUp: up,
+		Origins: map[Prefix]topology.ASN{
+			PrefixFor(f.ASA): f.ASA,
+			PrefixFor(f.ASB): f.ASB,
+			PrefixFor(f.ASC): f.ASC,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := PrefixFor(f.ASB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st.decide(f.R["x1"], p) == nil {
+			b.Fatal("no route")
+		}
+	}
+}

@@ -1,0 +1,461 @@
+// Package bgp implements the interdomain routing substrate: a router-level
+// path-vector protocol in the style of C-BGP's static solver. Each router
+// runs the standard decision process over routes received on eBGP sessions
+// (one per inter-AS physical link) and over iBGP (full mesh within the AS,
+// subject to IGP reachability), with Gao–Rexford export policies derived
+// from the topology's business relationships and optional per-neighbor
+// export filters used to simulate the paper's router misconfigurations.
+//
+// The simulator computes the stable routing state by synchronous fixpoint
+// iteration. The NetDiagnoser paper diagnoses non-transient failures after
+// routing has converged, so the stable state — not BGP's transient message
+// dynamics — is the only thing the diagnosis algorithms observe.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"netdiag/internal/igp"
+	"netdiag/internal/topology"
+)
+
+// Prefix names a destination prefix. The simulation originates one prefix
+// per sensor-hosting AS (see netsim), which is all the diagnoser needs.
+type Prefix string
+
+// PrefixFor returns the canonical prefix name for an origin AS.
+func PrefixFor(as topology.ASN) Prefix { return Prefix(fmt.Sprintf("p%d/24", as)) }
+
+// Local-preference tiers of the standard Gao–Rexford policy.
+const (
+	prefLocal    = 200
+	prefCustomer = 100
+	prefPeer     = 90
+	prefProvider = 80
+)
+
+// Route is one BGP route as held in a router's RIB.
+type Route struct {
+	Prefix    Prefix
+	ASPath    []topology.ASN // nearest AS first, origin AS last; empty for local routes
+	LocalPref int
+	// Egress is the border router of this AS where traffic exits (the
+	// router holding the eBGP session the route was learned on), or the
+	// router itself for locally originated routes.
+	Egress topology.RouterID
+	// PeerRouter is the eBGP neighbor router at the egress; undefined for
+	// local routes.
+	PeerRouter topology.RouterID
+	// Local marks a locally originated route.
+	Local bool
+	// viaIBGP marks that the holding router learned the route over iBGP
+	// (used by the eBGP-over-iBGP decision step).
+	viaIBGP bool
+}
+
+// equal reports semantic equality of two routes (fixpoint detection).
+func (r *Route) equal(o *Route) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	if r.Prefix != o.Prefix || r.LocalPref != o.LocalPref ||
+		r.Egress != o.Egress || r.PeerRouter != o.PeerRouter ||
+		r.Local != o.Local || r.viaIBGP != o.viaIBGP ||
+		len(r.ASPath) != len(o.ASPath) {
+		return false
+	}
+	for i := range r.ASPath {
+		if r.ASPath[i] != o.ASPath[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasAS reports whether the AS path contains asn (loop detection).
+func (r *Route) hasAS(asn topology.ASN) bool {
+	for _, a := range r.ASPath {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// ExportFilter suppresses the announcement of Prefix from Router to its
+// eBGP neighbor Peer. This is exactly the paper's simulated router
+// misconfiguration (§4): an incorrectly set outbound route filter.
+type ExportFilter struct {
+	Router topology.RouterID
+	Peer   topology.RouterID
+	Prefix Prefix
+}
+
+// Config assembles everything needed to compute a stable routing state.
+type Config struct {
+	Topo *topology.Topology
+	IGP  *igp.State
+	// IsLinkUp reports physical link liveness; eBGP sessions ride links.
+	IsLinkUp func(topology.LinkID) bool
+	// IsRouterUp reports router liveness (router failures take down all
+	// sessions of the router).
+	IsRouterUp func(topology.RouterID) bool
+	// Origins maps each announced prefix to its origin AS.
+	Origins map[Prefix]topology.ASN
+	// Filters are the active export filters (misconfigurations).
+	Filters []ExportFilter
+	// MaxRounds caps the fixpoint iteration; 0 means a generous default.
+	MaxRounds int
+}
+
+// session is one live eBGP session endpoint as seen from Local.
+type session struct {
+	Local  topology.RouterID
+	Remote topology.RouterID
+	Rel    topology.Rel // Local AS's view of Remote's AS
+}
+
+// State is a converged routing state.
+type State struct {
+	cfg      Config
+	prefixes []Prefix
+	sessions map[topology.RouterID][]session
+	// best[router][prefix]
+	best map[topology.RouterID]map[Prefix]*Route
+	// adjIn[router][neighbor router][prefix]: what neighbor advertised.
+	adjIn  map[topology.RouterID]map[topology.RouterID]map[Prefix]*Route
+	rounds int
+}
+
+// Compute converges the routing state. It returns an error only if the
+// iteration fails to reach a fixpoint within the round cap, which for
+// relationship-consistent topologies indicates a configuration bug.
+func Compute(cfg Config) (*State, error) {
+	if cfg.IsLinkUp == nil {
+		cfg.IsLinkUp = func(topology.LinkID) bool { return true }
+	}
+	if cfg.IsRouterUp == nil {
+		cfg.IsRouterUp = func(topology.RouterID) bool { return true }
+	}
+	s := &State{
+		cfg:      cfg,
+		sessions: map[topology.RouterID][]session{},
+		best:     map[topology.RouterID]map[Prefix]*Route{},
+		adjIn:    map[topology.RouterID]map[topology.RouterID]map[Prefix]*Route{},
+	}
+	for p := range cfg.Origins {
+		s.prefixes = append(s.prefixes, p)
+	}
+	sort.Slice(s.prefixes, func(i, j int) bool { return s.prefixes[i] < s.prefixes[j] })
+	s.buildSessions()
+
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 500
+	}
+	for s.rounds = 1; s.rounds <= maxRounds; s.rounds++ {
+		if !s.step() {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("bgp: no convergence after %d rounds", maxRounds)
+}
+
+// buildSessions enumerates the live eBGP sessions.
+func (s *State) buildSessions() {
+	topo := s.cfg.Topo
+	for _, l := range topo.Links() {
+		if l.Kind != topology.Inter || !s.cfg.IsLinkUp(l.ID) {
+			continue
+		}
+		if !s.cfg.IsRouterUp(l.A) || !s.cfg.IsRouterUp(l.B) {
+			continue
+		}
+		asA, asB := topo.RouterAS(l.A), topo.RouterAS(l.B)
+		s.sessions[l.A] = append(s.sessions[l.A], session{Local: l.A, Remote: l.B, Rel: topo.Rel(asA, asB)})
+		s.sessions[l.B] = append(s.sessions[l.B], session{Local: l.B, Remote: l.A, Rel: topo.Rel(asB, asA)})
+	}
+	// Deterministic order for reproducible tie-breaking paths.
+	for r := range s.sessions {
+		ss := s.sessions[r]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Remote < ss[j].Remote })
+	}
+}
+
+// step runs one synchronous round: recompute every router's best routes
+// from the previous round's state, then recompute every Adj-RIB-In from the
+// new bests. It reports whether anything changed.
+func (s *State) step() bool {
+	topo := s.cfg.Topo
+	changed := false
+
+	newBest := make(map[topology.RouterID]map[Prefix]*Route, topo.NumRouters())
+	for id := 0; id < topo.NumRouters(); id++ {
+		r := topology.RouterID(id)
+		if !s.cfg.IsRouterUp(r) {
+			continue
+		}
+		row := make(map[Prefix]*Route, len(s.prefixes))
+		for _, p := range s.prefixes {
+			if b := s.decide(r, p); b != nil {
+				row[p] = b
+			}
+		}
+		newBest[r] = row
+		if !changed {
+			old := s.best[r]
+			if len(old) != len(row) {
+				changed = true
+			} else {
+				for p, b := range row {
+					if !b.equal(old[p]) {
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	s.best = newBest
+
+	newAdj := make(map[topology.RouterID]map[topology.RouterID]map[Prefix]*Route)
+	for _, sess := range s.sessions {
+		for _, e := range sess {
+			// Routes e.Local receives FROM e.Remote: Remote's exports.
+			in := s.exports(e.Remote, e.Local)
+			if len(in) > 0 {
+				m := newAdj[e.Local]
+				if m == nil {
+					m = map[topology.RouterID]map[Prefix]*Route{}
+					newAdj[e.Local] = m
+				}
+				m[e.Remote] = in
+			}
+		}
+	}
+	if !changed {
+		changed = !adjEqual(s.adjIn, newAdj)
+	}
+	s.adjIn = newAdj
+	return changed
+}
+
+func adjEqual(a, b map[topology.RouterID]map[topology.RouterID]map[Prefix]*Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r, am := range a {
+		bm, ok := b[r]
+		if !ok || len(am) != len(bm) {
+			return false
+		}
+		for n, ap := range am {
+			bp, ok := bm[n]
+			if !ok || len(ap) != len(bp) {
+				return false
+			}
+			for p, ar := range ap {
+				if !ar.equal(bp[p]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// exports computes the routes router `from` advertises to eBGP neighbor
+// `to` under Gao–Rexford policy and the active export filters.
+func (s *State) exports(from, to topology.RouterID) map[Prefix]*Route {
+	topo := s.cfg.Topo
+	fromAS, toAS := topo.RouterAS(from), topo.RouterAS(to)
+	rel := topo.Rel(fromAS, toAS) // from's view of to
+	out := map[Prefix]*Route{}
+	for p, b := range s.best[from] {
+		if !s.exportAllowed(b, rel) {
+			continue
+		}
+		if s.filtered(from, to, p) {
+			continue
+		}
+		adv := &Route{
+			Prefix:     p,
+			ASPath:     append([]topology.ASN{fromAS}, b.ASPath...),
+			Egress:     from, // meaningful to the receiver as "came from"
+			PeerRouter: from,
+		}
+		out[p] = adv
+	}
+	return out
+}
+
+// exportAllowed implements Gao–Rexford: own and customer routes go to
+// everyone; peer and provider routes go to customers only.
+func (s *State) exportAllowed(b *Route, relToNeighbor topology.Rel) bool {
+	if b.Local {
+		return true
+	}
+	if b.LocalPref == prefCustomer {
+		return true
+	}
+	return relToNeighbor == topology.Customer
+}
+
+func (s *State) filtered(from, to topology.RouterID, p Prefix) bool {
+	for _, f := range s.cfg.Filters {
+		if f.Router == from && f.Peer == to && f.Prefix == p {
+			return true
+		}
+	}
+	return false
+}
+
+// decide runs the BGP decision process at router r for prefix p over the
+// previous round's Adj-RIB-Ins and iBGP-learned bests.
+func (s *State) decide(r topology.RouterID, p Prefix) *Route {
+	topo := s.cfg.Topo
+	asn := topo.RouterAS(r)
+
+	var best *Route
+	consider := func(c *Route) {
+		if c != nil && s.better(r, c, best) {
+			best = c
+		}
+	}
+
+	// Locally originated.
+	if s.cfg.Origins[p] == asn {
+		consider(&Route{Prefix: p, LocalPref: prefLocal, Egress: r, Local: true})
+	}
+
+	// eBGP: routes in Adj-RIB-In from live sessions.
+	for _, e := range s.sessions[r] {
+		adv := s.adjIn[r][e.Remote][p]
+		if adv == nil || adv.hasAS(asn) {
+			continue
+		}
+		consider(&Route{
+			Prefix:     p,
+			ASPath:     adv.ASPath,
+			LocalPref:  prefForRel(e.Rel),
+			Egress:     r,
+			PeerRouter: e.Remote,
+		})
+	}
+
+	// iBGP full mesh: adopt same-AS border routers' eBGP/local bests,
+	// subject to IGP reachability of the egress.
+	for _, peer := range topo.AS(asn).Routers {
+		if peer == r || !s.cfg.IsRouterUp(peer) {
+			continue
+		}
+		pb := s.best[peer][p]
+		if pb == nil || pb.viaIBGP || pb.Local {
+			// iBGP-learned routes are not re-advertised over iBGP;
+			// local origination is known to every router already.
+			continue
+		}
+		if !s.cfg.IGP.Reachable(r, pb.Egress) {
+			continue
+		}
+		c := *pb
+		c.viaIBGP = true
+		consider(&c)
+	}
+
+	return best
+}
+
+func prefForRel(rel topology.Rel) int {
+	switch rel {
+	case topology.Customer:
+		return prefCustomer
+	case topology.Peer:
+		return prefPeer
+	default:
+		return prefProvider
+	}
+}
+
+// better reports whether candidate a beats b at router r under the decision
+// process: local-pref, AS-path length, eBGP over iBGP, IGP distance to
+// egress (hot potato), then lowest egress and peer router IDs.
+func (s *State) better(r topology.RouterID, a, b *Route) bool {
+	if b == nil {
+		return true
+	}
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	if len(a.ASPath) != len(b.ASPath) {
+		return len(a.ASPath) < len(b.ASPath)
+	}
+	if a.viaIBGP != b.viaIBGP {
+		return !a.viaIBGP
+	}
+	da, db := s.cfg.IGP.Dist(r, a.Egress), s.cfg.IGP.Dist(r, b.Egress)
+	if da != db {
+		return da < db
+	}
+	if a.Egress != b.Egress {
+		return a.Egress < b.Egress
+	}
+	return a.PeerRouter < b.PeerRouter
+}
+
+// Best returns router r's best route for prefix p.
+func (s *State) Best(r topology.RouterID, p Prefix) (*Route, bool) {
+	b, ok := s.best[r][p]
+	return b, ok
+}
+
+// Prefixes returns the announced prefixes in sorted order. The returned
+// slice is shared; callers must not modify it.
+func (s *State) Prefixes() []Prefix { return s.prefixes }
+
+// Rounds returns the number of synchronous rounds the fixpoint took.
+func (s *State) Rounds() int { return s.rounds }
+
+// AdjInPrefixes returns the set of prefixes router r currently receives
+// from eBGP neighbor `from`. Diffing this across a failure event yields the
+// BGP withdrawals the paper's ND-bgpigp consumes.
+func (s *State) AdjInPrefixes(r, from topology.RouterID) map[Prefix]bool {
+	out := map[Prefix]bool{}
+	for p := range s.adjIn[r][from] {
+		out[p] = true
+	}
+	return out
+}
+
+// EBGPNeighbors returns the remote routers of r's live eBGP sessions in
+// ascending order.
+func (s *State) EBGPNeighbors(r topology.RouterID) []topology.RouterID {
+	var out []topology.RouterID
+	for _, e := range s.sessions[r] {
+		out = append(out, e.Remote)
+	}
+	return out
+}
+
+// ASPathFrom returns the AS-level path from AS `from` to prefix p as a
+// Looking Glass server in that AS would report it: the AS's own number
+// followed by the AS path of its best route. ok is false when the AS has
+// no route to p.
+func (s *State) ASPathFrom(from topology.ASN, p Prefix) ([]topology.ASN, bool) {
+	if s.cfg.Origins[p] == from {
+		return []topology.ASN{from}, true
+	}
+	var best *Route
+	for _, r := range s.cfg.Topo.AS(from).Routers {
+		if b := s.best[r][p]; b != nil && !b.viaIBGP {
+			if best == nil || s.better(r, b, best) {
+				best = b
+			}
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return append([]topology.ASN{from}, best.ASPath...), true
+}

@@ -1,0 +1,53 @@
+package core
+
+import "sort"
+
+// Diagnosability computes the metric D(G) of §4: the number of distinct
+// hitting sets (sets of paths traversing a link) divided by the number of
+// probed links. D=1 means every single-link failure produces a unique
+// reachability matrix and is therefore exactly identifiable; low values
+// mean many links are indistinguishable.
+//
+// The input is the set of (typically pre-failure) traceroute paths; failed
+// partial paths are used as-is, mirroring how the troubleshooter sees them.
+func Diagnosability(paths []*TracePath) float64 {
+	linkPaths := map[Link][]int{}
+	for i, p := range paths {
+		for _, l := range p.Links() {
+			linkPaths[l] = append(linkPaths[l], i)
+		}
+	}
+	if len(linkPaths) == 0 {
+		return 0
+	}
+	distinct := map[string]bool{}
+	for _, ps := range linkPaths {
+		sort.Ints(ps)
+		key := make([]byte, 0, len(ps)*3)
+		for _, id := range ps {
+			key = appendInt(key, id)
+			key = append(key, ',')
+		}
+		distinct[string(key)] = true
+	}
+	return float64(len(distinct)) / float64(len(linkPaths))
+}
+
+func appendInt(b []byte, n int) []byte {
+	if n == 0 {
+		return append(b, '0')
+	}
+	if n < 0 {
+		b = append(b, '-')
+		n = -n
+	}
+	start := len(b)
+	for n > 0 {
+		b = append(b, byte('0'+n%10))
+		n /= 10
+	}
+	for i, j := start, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SCFS implements Duffield's "Smallest Common Failure Set" algorithm, the
+// single-source Boolean tomography baseline the paper starts from (§2.1).
+// It takes the tree of paths from one source sensor to multiple
+// destinations with their good/bad status (TracePath.OK) and returns the
+// links nearest the source consistent with the bad paths: the link above
+// every maximal subtree whose destinations are all bad.
+//
+// It returns an error if the paths do not share a source or do not form a
+// tree (two paths disagreeing on the route to a shared node).
+func SCFS(paths []*TracePath) ([]Link, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	src := paths[0].SrcSensor
+	root := paths[0].Hops[0].Node
+	parent := map[Node]Node{}
+	// total/bad destination counts per subtree root
+	total := map[Node]int{}
+	bad := map[Node]int{}
+
+	for _, p := range paths {
+		if p.SrcSensor != src {
+			return nil, fmt.Errorf("core: SCFS requires a single source, got sensors %d and %d", src, p.SrcSensor)
+		}
+		if p.Hops[0].Node != root {
+			return nil, fmt.Errorf("core: SCFS paths start at different nodes %q and %q", root, p.Hops[0].Node)
+		}
+		for i := 1; i < len(p.Hops); i++ {
+			child, par := p.Hops[i].Node, p.Hops[i-1].Node
+			if prev, ok := parent[child]; ok && prev != par {
+				return nil, fmt.Errorf("core: paths do not form a tree at node %q", child)
+			}
+			parent[child] = par
+		}
+		for _, h := range p.Hops {
+			total[h.Node]++
+			if !p.OK {
+				bad[h.Node]++
+			}
+		}
+	}
+
+	// A node is failed-consistent when every destination below it is bad.
+	consistent := func(n Node) bool { return total[n] > 0 && bad[n] == total[n] }
+
+	set := linkSet{}
+	for child, par := range parent {
+		if consistent(child) && !consistent(par) {
+			set.add(Link{From: par, To: child})
+		}
+	}
+	// If even the root is consistent (every destination bad), blame the
+	// links directly below the source: nothing closer can be exonerated.
+	if consistent(root) {
+		children := map[Node]bool{}
+		for child, par := range parent {
+			if par == root {
+				children[child] = true
+			}
+		}
+		var cs []Node
+		for c := range children {
+			cs = append(cs, c)
+		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		for _, c := range cs {
+			set.add(Link{From: root, To: c})
+		}
+	}
+	return set.sorted(), nil
+}

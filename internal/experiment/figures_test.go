@@ -1,0 +1,391 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// quickCfg is a reduced-scale config for shape tests.
+func quickCfg(seed int64) Config {
+	c := DefaultConfig(seed)
+	c.Placements = 3
+	c.FailuresPerPlacement = 12
+	return c
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	fig, err := Figure5(quickCfg(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("want 4 placement series, got %d", len(fig.Series))
+	}
+	bySeries := map[string]Series{}
+	for _, s := range fig.Series {
+		bySeries[s.Name] = s
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("series %s malformed", s.Name)
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("diagnosability %v out of range in %s", y, s.Name)
+			}
+		}
+	}
+	// Paper Fig 5: same-AS dominates distant-AS on average.
+	same, distant := bySeries["same AS"], bySeries["distant AS"]
+	avg := func(s Series) float64 {
+		sum := 0.0
+		for _, y := range s.Y {
+			sum += y
+		}
+		return sum / float64(len(s.Y))
+	}
+	if avg(same) <= avg(distant) {
+		t.Fatalf("same-AS avg D %.3f should exceed distant-AS %.3f", avg(same), avg(distant))
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	fig, err := Figure7(quickCfg(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tomo3 := fig.CDFs["tomo 3-link"]
+	edge3 := fig.CDFs["nd-edge 3-link"]
+	if tomo3.N() == 0 || edge3.N() == 0 {
+		t.Fatal("no samples collected")
+	}
+	// Paper Fig 7: ND-edge sensitivity ~1 almost always, Tomo clearly
+	// lower under 3 simultaneous failures.
+	if edge3.Mean() < 0.9 {
+		t.Fatalf("ND-edge 3-link mean sensitivity %.3f, want >= 0.9 (%s)", edge3.Mean(), edge3)
+	}
+	if edge3.Mean() <= tomo3.Mean() {
+		t.Fatalf("ND-edge (%.3f) should beat Tomo (%.3f)", edge3.Mean(), tomo3.Mean())
+	}
+	tomoMC := fig.CDFs["tomo misconfig+1link"]
+	edgeMC := fig.CDFs["nd-edge misconfig+1link"]
+	if edgeMC.Mean() <= tomoMC.Mean() {
+		t.Fatalf("misconfig: ND-edge (%.3f) should beat Tomo (%.3f)", edgeMC.Mean(), tomoMC.Mean())
+	}
+}
+
+func TestFigure8Shapes(t *testing.T) {
+	fig, err := Figure8(quickCfg(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneLink := fig.CDFs["nd-edge 1-link"]
+	mc := fig.CDFs["nd-edge misconfig"]
+	if oneLink.N() == 0 || mc.N() == 0 {
+		t.Fatal("no samples")
+	}
+	// Paper Fig 8: specificity > 0.9 for single link failures; the
+	// misconfiguration case is even more specific.
+	if oneLink.Quantile(0.10) < 0.85 {
+		t.Fatalf("1-link specificity p10 = %.3f, want >= 0.85 (%s)", oneLink.Quantile(0.10), oneLink)
+	}
+	if mc.Mean() < oneLink.Mean() {
+		t.Fatalf("misconfig specificity (%.3f) should be >= link-failure specificity (%.3f)",
+			mc.Mean(), oneLink.Mean())
+	}
+}
+
+func TestFigure10Shapes(t *testing.T) {
+	fig, err := Figure10(quickCfg(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, bs := fig.CDFs["nd-edge specificity"], fig.CDFs["nd-bgpigp specificity"]
+	if bs.Mean() < es.Mean() {
+		t.Fatalf("ND-bgpigp specificity (%.4f) must be >= ND-edge (%.4f)", bs.Mean(), es.Mean())
+	}
+	esn, bsn := fig.CDFs["nd-edge sensitivity"], fig.CDFs["nd-bgpigp sensitivity"]
+	if bsn.Mean() < esn.Mean()-1e-9 {
+		t.Fatalf("ND-bgpigp sensitivity (%.4f) must not drop below ND-edge (%.4f)", bsn.Mean(), esn.Mean())
+	}
+}
+
+func TestFigure11Shapes(t *testing.T) {
+	cfg := quickCfg(45)
+	cfg.Placements = 2
+	cfg.FailuresPerPlacement = 10
+	fig, err := Figure11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lg, bg Series
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "nd-lg AS-sensitivity":
+			lg = s
+		case "nd-bgpigp AS-sensitivity":
+			bg = s
+		}
+	}
+	if len(lg.Y) == 0 || len(bg.Y) == 0 {
+		t.Fatal("missing series")
+	}
+	// At high f_b ND-LG must dominate ND-bgpigp (paper Fig 11).
+	last := len(lg.Y) - 1
+	if lg.Y[last] <= bg.Y[last] {
+		t.Fatalf("at f_b=%.1f, ND-LG AS-sens %.3f should exceed ND-bgpigp %.3f",
+			lg.X[last], lg.Y[last], bg.Y[last])
+	}
+	// ND-bgpigp AS-sensitivity should fall substantially from f_b=0 to 0.8.
+	if bg.Y[last] > bg.Y[0]-0.2 {
+		t.Fatalf("ND-bgpigp AS-sens should degrade with blocking: %.3f -> %.3f", bg.Y[0], bg.Y[last])
+	}
+}
+
+func TestRouterFailureStudy(t *testing.T) {
+	fig, err := RouterFailureStudy(quickCfg(46))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) == 0 || len(fig.Series[0].Y) == 0 {
+		t.Fatal("no detection-rate series")
+	}
+	if rate := fig.Series[0].Y[0]; rate < 0.9 {
+		t.Fatalf("router detection rate %.2f, paper reports every run detected", rate)
+	}
+}
+
+func TestScalabilityStudy(t *testing.T) {
+	cfg := quickCfg(47)
+	cfg.Placements = 2
+	cfg.FailuresPerPlacement = 6
+	fig, err := ScalabilityStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]float64{}
+	for _, s := range fig.Series {
+		sizes[s.Name] = s.Y[0]
+	}
+	phys := sizes["graph links (physical)"]
+	neigh := sizes["graph links (per-neighbor)"]
+	pref := sizes["graph links (per-prefix)"]
+	if !(phys < neigh && neigh < pref) {
+		t.Fatalf("graph sizes should grow with granularity: %v < %v < %v", phys, neigh, pref)
+	}
+	// Per-prefix must not lose sensitivity relative to per-neighbor.
+	if fig.CDFs["per-prefix sens"].Mean() < fig.CDFs["per-neighbor sens"].Mean()-0.05 {
+		t.Fatalf("per-prefix sensitivity dropped: %.3f vs %.3f",
+			fig.CDFs["per-prefix sens"].Mean(), fig.CDFs["per-neighbor sens"].Mean())
+	}
+}
+
+func TestParisStudy(t *testing.T) {
+	cfg := quickCfg(48)
+	fig, err := ParisStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Series{}
+	for _, s := range fig.Series {
+		series[s.Name] = s
+	}
+	single := series["probed links (single path)"]
+	multi := series["probed links (all ECMP paths)"]
+	if len(single.Y) == 0 || len(single.Y) != len(multi.Y) {
+		t.Fatal("malformed series")
+	}
+	grew := false
+	for i := range single.Y {
+		if multi.Y[i] < single.Y[i] {
+			t.Fatalf("multipath discovery shrank the universe: %v -> %v", single.Y[i], multi.Y[i])
+		}
+		if multi.Y[i] > single.Y[i] {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Log("no ECMP encountered for any placement (topology-dependent); universe unchanged")
+	}
+}
+
+func TestFigure6Shapes(t *testing.T) {
+	cfg := quickCfg(51)
+	cfg.Placements = 2
+	cfg.FailuresPerPlacement = 10
+	fig, err := Figure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := fig.CDFs["tomo 1-link"]
+	three := fig.CDFs["tomo 3-link"]
+	mc := fig.CDFs["tomo misconfig"]
+	if one.N() == 0 || three.N() == 0 || mc.N() == 0 {
+		t.Fatal("missing samples")
+	}
+	// Paper Fig 6: single failures nearly always found; multiple failures
+	// much worse; misconfigurations essentially invisible.
+	if one.Mean() <= three.Mean() {
+		t.Fatalf("1-link Tomo sensitivity (%.3f) should beat 3-link (%.3f)", one.Mean(), three.Mean())
+	}
+	if mc.CDFAt(0) < 0.5 {
+		t.Fatalf("Tomo should have zero sensitivity in most misconfig instances, got %.0f%%", 100*mc.CDFAt(0))
+	}
+}
+
+func TestFigure9Shapes(t *testing.T) {
+	cfg := quickCfg(52)
+	fig, err := Figure9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) == 0 {
+		t.Fatal("no scatter points")
+	}
+	for _, p := range fig.Points {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("point out of range: %+v", p)
+		}
+		if p.Y < 0.5 {
+			t.Fatalf("ND-edge specificity %v far below the paper's 0.75 floor", p.Y)
+		}
+	}
+}
+
+func TestASLevelStudyShapes(t *testing.T) {
+	cfg := quickCfg(53)
+	fig, err := ASLevelStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.CDFs["AS-sensitivity"]
+	if s.N() == 0 {
+		t.Fatal("no samples")
+	}
+	// Paper §5.2: no AS false negatives in >90% of instances.
+	if s.Mean() < 0.8 {
+		t.Fatalf("ND-edge AS-sensitivity mean %.3f too low", s.Mean())
+	}
+	if len(fig.Notes) == 0 {
+		t.Fatal("study should report its headline note")
+	}
+}
+
+func TestASXPositionShapes(t *testing.T) {
+	cfg := quickCfg(54)
+	cfg.FailuresPerPlacement = 8
+	fig, err := ASXPositionStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := fig.CDFs["core AS-X specificity"]
+	stub := fig.CDFs["stub AS-X specificity"]
+	if core.N() == 0 || stub.N() == 0 {
+		t.Fatal("missing samples")
+	}
+	// Paper §5.3: core placement gives the same or higher specificity.
+	if core.Mean() < stub.Mean()-0.02 {
+		t.Fatalf("core AS-X specificity %.4f should not trail stub %.4f", core.Mean(), stub.Mean())
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	cfg := quickCfg(55)
+	cfg.Placements = 2
+	cfg.FailuresPerPlacement = 8
+	fig, err := AblationStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tomo := fig.CDFs["tomo (no features) sens"]
+	reroutes := fig.CDFs["+reroutes only sens"]
+	edge := fig.CDFs["nd-edge (both) sens"]
+	partial := fig.CDFs["nd-bgpigp+partial spec"]
+	bgpigp := fig.CDFs["nd-bgpigp spec"]
+	if reroutes.Mean() <= tomo.Mean() {
+		t.Fatalf("reroute sets must drive sensitivity: %.3f vs tomo %.3f", reroutes.Mean(), tomo.Mean())
+	}
+	if edge.Mean() < reroutes.Mean()-1e-9 {
+		t.Fatalf("full ND-edge (%.3f) should not trail reroutes-only (%.3f)", edge.Mean(), reroutes.Mean())
+	}
+	if partial.Mean() < bgpigp.Mean()-1e-9 {
+		t.Fatalf("partial traces must not hurt specificity: %.4f vs %.4f", partial.Mean(), bgpigp.Mean())
+	}
+}
+
+func TestSCFSStudy(t *testing.T) {
+	cfg := quickCfg(56)
+	cfg.Placements = 2
+	cfg.FailuresPerPlacement = 8
+	fig, err := SCFSStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tomoSens := fig.CDFs["tomo sensitivity"]
+	scfsSens := fig.CDFs["scfs-union sensitivity"]
+	if tomoSens.N() == 0 || scfsSens.N() == 0 {
+		t.Fatal("missing samples")
+	}
+	// Tomo must not be worse than per-source SCFS union on the mesh.
+	if tomoSens.Mean() < scfsSens.Mean()-0.05 {
+		t.Fatalf("Tomo sensitivity %.3f unexpectedly below SCFS union %.3f",
+			tomoSens.Mean(), scfsSens.Mean())
+	}
+	if len(fig.Series) == 0 {
+		t.Fatal("tree-assumption series missing")
+	}
+	frac := fig.Series[0].Y[0]
+	if frac < 0 || frac > 1 {
+		t.Fatalf("tree fraction %v out of range", frac)
+	}
+}
+
+func TestPlacementOptStudy(t *testing.T) {
+	cfg := quickCfg(57)
+	cfg.Placements = 3 // one rep
+	fig, err := PlacementOptStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var greedy, random Series
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "greedy placement D":
+			greedy = s
+		case "random placement D":
+			random = s
+		}
+	}
+	if len(greedy.Y) == 0 || len(greedy.Y) != len(random.Y) {
+		t.Fatal("malformed series")
+	}
+	gAvg, rAvg := 0.0, 0.0
+	for i := range greedy.Y {
+		gAvg += greedy.Y[i]
+		rAvg += random.Y[i]
+	}
+	if gAvg < rAvg {
+		t.Fatalf("greedy placement average D %.3f should beat random %.3f", gAvg, rAvg)
+	}
+}
+
+func TestSkewStudy(t *testing.T) {
+	cfg := quickCfg(58)
+	cfg.Placements = 2
+	cfg.FailuresPerPlacement = 8
+	fig, err := SkewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sens Series
+	for _, s := range fig.Series {
+		if s.Name == "nd-edge sensitivity" {
+			sens = s
+		}
+	}
+	if len(sens.Y) != 4 {
+		t.Fatalf("want 4 skew levels, got %d", len(sens.Y))
+	}
+	// Zero skew must be at least as good as 50% skew.
+	if sens.Y[0] < sens.Y[len(sens.Y)-1]-1e-9 {
+		t.Fatalf("skew should not improve sensitivity: %.3f at 0 vs %.3f at 0.5",
+			sens.Y[0], sens.Y[len(sens.Y)-1])
+	}
+}

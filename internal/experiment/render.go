@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netdiag/internal/metrics"
+)
+
+// WriteCSV writes the figure's data as CSV files under dir:
+// <id>_cdf.csv (name,x,p), <id>_series.csv (name,x,y) and
+// <id>_points.csv (x,y), creating only the files with data.
+func (f *Figure) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if len(f.CDFs) > 0 {
+		if err := writeCSVFile(filepath.Join(dir, f.ID+"_cdf.csv"),
+			[]string{"series", "value", "cdf"}, func(w *csv.Writer) error {
+				for _, name := range sortedKeys(f.CDFs) {
+					for _, pt := range f.CDFs[name].CDF() {
+						if err := w.Write([]string{name, ftoa(pt.X), ftoa(pt.P)}); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+			return err
+		}
+	}
+	if len(f.Series) > 0 {
+		if err := writeCSVFile(filepath.Join(dir, f.ID+"_series.csv"),
+			[]string{"series", "x", "y"}, func(w *csv.Writer) error {
+				for _, s := range f.Series {
+					for i := range s.X {
+						if err := w.Write([]string{s.Name, ftoa(s.X[i]), ftoa(s.Y[i])}); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+			return err
+		}
+	}
+	if len(f.Points) > 0 {
+		if err := writeCSVFile(filepath.Join(dir, f.ID+"_points.csv"),
+			[]string{"x", "y"}, func(w *csv.Writer) error {
+				for _, p := range f.Points {
+					if err := w.Write([]string{ftoa(p.X), ftoa(p.Y)}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(path string, header []string, body func(*csv.Writer) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	w := csv.NewWriter(fh)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := body(w); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func sortedKeys(m map[string]*metrics.Dist) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Render writes a human-readable summary of the figure to w.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", f.ID, f.Title)
+	if len(f.CDFs) > 0 {
+		for _, name := range sortedKeys(f.CDFs) {
+			fmt.Fprintf(w, "  %-34s %s\n", name, f.CDFs[name].String())
+		}
+		fmt.Fprint(w, indent(metrics.AsciiCDF("  CDF grid:", f.CDFs, 11), "  "))
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "  series %-30s", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(w, " (%.2g, %.3f)", s.X[i], s.Y[i])
+		}
+		fmt.Fprintln(w)
+	}
+	if len(f.Points) > 0 {
+		fmt.Fprintf(w, "  %d scatter points; ", len(f.Points))
+		var d metrics.Dist
+		for _, p := range f.Points {
+			d.Add(p.Y)
+		}
+		fmt.Fprintf(w, "y-dist: %s\n", d.String())
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,38 @@
+package igp
+
+import (
+	"testing"
+
+	"netdiag/internal/topology"
+)
+
+// BenchmarkFullSPF measures computing IGP state for the whole research
+// topology (all ASes, all sources) — done once per failure trial.
+func BenchmarkFullSPF(b *testing.B) {
+	res, err := topology.GenerateResearch(topology.DefaultResearchConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	up := func(topology.LinkID) bool { return true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(res.Topo, up)
+	}
+}
+
+// BenchmarkNextHop measures a single next-hop derivation in a core AS.
+func BenchmarkNextHop(b *testing.B) {
+	res, err := topology.GenerateResearch(topology.DefaultResearchConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(res.Topo, func(topology.LinkID) bool { return true })
+	routers := res.Topo.AS(res.Cores[1]).Routers
+	src, dst := routers[0], routers[len(routers)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.NextHop(src, dst); !ok {
+			b.Fatal("unreachable")
+		}
+	}
+}

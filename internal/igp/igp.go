@@ -1,0 +1,187 @@
+// Package igp implements the intradomain routing substrate: a link-state
+// IGP (IS-IS-like) computing shortest paths per AS with Dijkstra over the
+// currently-up intra-AS links. It also surfaces the "link down" events the
+// ND-bgpigp algorithm of the paper consumes from AS-X's own network.
+package igp
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"netdiag/internal/topology"
+)
+
+// Infinity is the distance reported between IGP-disconnected routers.
+const Infinity = math.MaxInt32
+
+// LinkDown is the IGP event a troubleshooter observes for a failed
+// intra-AS link in its own network (paper §3.3).
+type LinkDown struct {
+	AS   topology.ASN
+	Link topology.LinkID
+}
+
+// State holds the IGP routing state of every AS, computed from the set of
+// currently-up links at construction time. Next hops are derived from the
+// all-pairs (within-AS) distances: router r forwards towards dst via its
+// lowest-ID neighbor nb satisfying dist(r,dst) = cost(r,nb) + dist(nb,dst).
+// Because link costs are positive, hop-by-hop forwarding under this rule is
+// loop-free and deterministic.
+type State struct {
+	topo *topology.Topology
+	isUp func(topology.LinkID) bool
+	dist map[topology.RouterID]map[topology.RouterID]int
+}
+
+// New computes IGP state for all ASes. isUp reports whether a physical
+// link is currently up; the function is retained for next-hop derivation
+// and must keep answering consistently until the State is discarded.
+func New(topo *topology.Topology, isUp func(topology.LinkID) bool) *State {
+	s := &State{
+		topo: topo,
+		isUp: isUp,
+		dist: make(map[topology.RouterID]map[topology.RouterID]int, topo.NumRouters()),
+	}
+	for _, asn := range topo.ASNumbers() {
+		for _, src := range topo.AS(asn).Routers {
+			s.dist[src] = s.runSPF(src)
+		}
+	}
+	return s
+}
+
+// item is a priority-queue entry for Dijkstra.
+type item struct {
+	router topology.RouterID
+	dist   int
+}
+
+type pq []item
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(item)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// runSPF computes single-source shortest path distances within src's AS.
+func (s *State) runSPF(src topology.RouterID) map[topology.RouterID]int {
+	topo := s.topo
+	asn := topo.RouterAS(src)
+	dist := map[topology.RouterID]int{src: 0}
+	done := map[topology.RouterID]bool{}
+
+	q := &pq{{router: src, dist: 0}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(item)
+		if done[cur.router] {
+			continue
+		}
+		done[cur.router] = true
+		for _, lid := range topo.Router(cur.router).Links {
+			l := topo.Link(lid)
+			if l.Kind != topology.Intra || !s.isUp(lid) {
+				continue
+			}
+			nb := l.Other(cur.router)
+			if topo.RouterAS(nb) != asn {
+				continue
+			}
+			nd := cur.dist + l.Cost
+			if old, ok := dist[nb]; !ok || nd < old {
+				dist[nb] = nd
+				heap.Push(q, item{router: nb, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns the IGP distance from src to dst (same AS), or Infinity if
+// dst is unreachable within the AS.
+func (s *State) Dist(src, dst topology.RouterID) int {
+	if src == dst {
+		return 0
+	}
+	d, ok := s.dist[src][dst]
+	if !ok {
+		return Infinity
+	}
+	return d
+}
+
+// NextHop returns the next router on a shortest path from src to dst (both
+// in the same AS), breaking equal-cost ties by the lowest neighbor router
+// ID. ok is false if dst is IGP-unreachable from src.
+func (s *State) NextHop(src, dst topology.RouterID) (topology.RouterID, bool) {
+	if src == dst {
+		return dst, true
+	}
+	total := s.Dist(src, dst)
+	if total == Infinity {
+		return 0, false
+	}
+	topo := s.topo
+	asn := topo.RouterAS(src)
+	best := topology.RouterID(-1)
+	for _, lid := range topo.Router(src).Links {
+		l := topo.Link(lid)
+		if l.Kind != topology.Intra || !s.isUp(lid) {
+			continue
+		}
+		nb := l.Other(src)
+		if topo.RouterAS(nb) != asn {
+			continue
+		}
+		if l.Cost+s.Dist(nb, dst) == total && (best < 0 || nb < best) {
+			best = nb
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// NextHops returns every neighbor of src lying on some shortest path to
+// dst (the ECMP next-hop set), sorted by router ID. It returns nil when
+// dst is unreachable. NextHop always returns the first element.
+func (s *State) NextHops(src, dst topology.RouterID) []topology.RouterID {
+	if src == dst {
+		return []topology.RouterID{dst}
+	}
+	total := s.Dist(src, dst)
+	if total == Infinity {
+		return nil
+	}
+	topo := s.topo
+	asn := topo.RouterAS(src)
+	var out []topology.RouterID
+	for _, lid := range topo.Router(src).Links {
+		l := topo.Link(lid)
+		if l.Kind != topology.Intra || !s.isUp(lid) {
+			continue
+		}
+		nb := l.Other(src)
+		if topo.RouterAS(nb) != asn {
+			continue
+		}
+		if l.Cost+s.Dist(nb, dst) == total {
+			out = append(out, nb)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reachable reports whether src can reach dst within their AS.
+func (s *State) Reachable(src, dst topology.RouterID) bool {
+	return s.Dist(src, dst) < Infinity
+}

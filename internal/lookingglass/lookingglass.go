@@ -1,0 +1,69 @@
+// Package lookingglass simulates the Looking Glass servers of §3.4: per-AS
+// query endpoints that report the AS path from their AS towards a prefix,
+// answered from the simulated BGP routing state. The troubleshooter's own
+// AS is always queryable — it consults its own BGP tables, which the paper
+// uses for mapping downstream unidentified hops.
+package lookingglass
+
+import (
+	"netdiag/internal/bgp"
+	"netdiag/internal/core"
+	"netdiag/internal/topology"
+)
+
+// Registry implements core.LookingGlass over converged BGP states. Queries
+// are served from the post-failure state when it still has a route and fall
+// back to the pre-failure state otherwise (a real operator would similarly
+// consult a route collector's recent history when the live LG has lost the
+// route; only the AS-level alignment matters to the algorithm).
+type Registry struct {
+	primary   *bgp.State
+	fallback  *bgp.State
+	available map[topology.ASN]bool
+	asx       topology.ASN
+	// sensorPrefix[i] is the prefix covering sensor i.
+	sensorPrefix []bgp.Prefix
+}
+
+var _ core.LookingGlass = (*Registry)(nil)
+
+// New builds a registry. available lists the ASes operating Looking
+// Glasses (nil means every AS does); asx is always treated as available.
+// primary is the current (post-failure) state; fallback may be nil.
+func New(primary, fallback *bgp.State, available map[topology.ASN]bool, asx topology.ASN, sensorPrefixes []bgp.Prefix) *Registry {
+	return &Registry{
+		primary:      primary,
+		fallback:     fallback,
+		available:    available,
+		asx:          asx,
+		sensorPrefix: sensorPrefixes,
+	}
+}
+
+// Available reports whether the AS can be queried.
+func (r *Registry) Available(as topology.ASN) bool {
+	if as == r.asx {
+		return true
+	}
+	if r.available == nil {
+		return true
+	}
+	return r.available[as]
+}
+
+// ASPath returns the AS path from an AS towards the prefix of a sensor.
+func (r *Registry) ASPath(from topology.ASN, dstSensor int) ([]topology.ASN, bool) {
+	if !r.Available(from) || dstSensor < 0 || dstSensor >= len(r.sensorPrefix) {
+		return nil, false
+	}
+	p := r.sensorPrefix[dstSensor]
+	if path, ok := r.primary.ASPathFrom(from, p); ok {
+		return path, true
+	}
+	if r.fallback != nil {
+		if path, ok := r.fallback.ASPathFrom(from, p); ok {
+			return path, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,108 @@
+// Package monitor implements the failure-detection front end the paper's
+// deployment discussion calls for (§6): the sensors measure the full mesh
+// periodically, and the troubleshooter raises an alarm only when an
+// unreachability persists across several successive measurement rounds, so
+// transient events (link flaps, routing convergence) are not diagnosed as
+// failures. NetDiagnoser targets non-transient failures by design (§1).
+package monitor
+
+import (
+	"netdiag/internal/probe"
+)
+
+// Config parameterizes the detector.
+type Config struct {
+	// Confirm is the number of consecutive rounds a pair must stay
+	// unreachable before an alarm fires. Zero means 3, a conservative
+	// default for the paper's "several successive measurements".
+	Confirm int
+}
+
+// Alarm reports a confirmed unreachability event, carrying the two meshes
+// the diagnosis algorithms need: the last fully healthy measurement (T-)
+// and the confirming measurement (T+).
+type Alarm struct {
+	// Round is the measurement round at which the alarm fired.
+	Round int
+	// Baseline is the most recent fully reachable mesh before the event.
+	Baseline *probe.Mesh
+	// Current is the mesh that confirmed the failure.
+	Current *probe.Mesh
+	// FailedPairs lists the (src,dst) sensor index pairs that confirmed.
+	FailedPairs [][2]int
+}
+
+// Detector consumes a stream of periodic mesh measurements and emits an
+// alarm when failures persist. It is not safe for concurrent use.
+type Detector struct {
+	cfg      Config
+	round    int
+	baseline *probe.Mesh
+	streak   map[[2]int]int
+	// alarmed suppresses repeated alarms for one ongoing event until the
+	// mesh fully recovers.
+	alarmed bool
+}
+
+// New returns a detector.
+func New(cfg Config) *Detector {
+	if cfg.Confirm <= 0 {
+		cfg.Confirm = 3
+	}
+	return &Detector{cfg: cfg, streak: map[[2]int]int{}}
+}
+
+// Round returns the number of observed measurement rounds.
+func (d *Detector) Round() int { return d.round }
+
+// Baseline returns the most recent fully healthy mesh, or nil if none has
+// been observed yet.
+func (d *Detector) Baseline() *probe.Mesh { return d.baseline }
+
+// Observe ingests one measurement round. It returns a non-nil alarm when
+// at least one pair has been unreachable for cfg.Confirm consecutive
+// rounds (including this one) and no alarm is already outstanding.
+func (d *Detector) Observe(m *probe.Mesh) *Alarm {
+	d.round++
+	if !m.AnyFailed() {
+		d.baseline = m
+		d.streak = map[[2]int]int{}
+		d.alarmed = false
+		return nil
+	}
+
+	var confirmed [][2]int
+	seen := map[[2]int]bool{}
+	for i := range m.Paths {
+		for j, p := range m.Paths[i] {
+			if i == j {
+				continue
+			}
+			key := [2]int{i, j}
+			if p == nil || !p.OK {
+				seen[key] = true
+				d.streak[key]++
+				if d.streak[key] >= d.cfg.Confirm {
+					confirmed = append(confirmed, key)
+				}
+			}
+		}
+	}
+	// Pairs that recovered this round lose their streak.
+	for key := range d.streak {
+		if !seen[key] {
+			delete(d.streak, key)
+		}
+	}
+
+	if len(confirmed) == 0 || d.alarmed || d.baseline == nil {
+		return nil
+	}
+	d.alarmed = true
+	return &Alarm{
+		Round:       d.round,
+		Baseline:    d.baseline,
+		Current:     m,
+		FailedPairs: confirmed,
+	}
+}

@@ -1,0 +1,179 @@
+package monitor
+
+import (
+	"testing"
+
+	"netdiag/internal/netsim"
+	"netdiag/internal/probe"
+	"netdiag/internal/topology"
+)
+
+// mesh builds a 2-sensor mesh with the given pair statuses.
+func mesh(ok01, ok10 bool) *probe.Mesh {
+	m := probe.NewMesh([]topology.RouterID{1, 2})
+	m.Paths[0][1] = &probe.Path{Src: 1, Dst: 2, OK: ok01, Hops: []probe.Hop{{Addr: "a", Router: 1}}}
+	m.Paths[1][0] = &probe.Path{Src: 2, Dst: 1, OK: ok10, Hops: []probe.Hop{{Addr: "b", Router: 2}}}
+	return m
+}
+
+func TestTransientFlapSuppressed(t *testing.T) {
+	d := New(Config{Confirm: 3})
+	if a := d.Observe(mesh(true, true)); a != nil {
+		t.Fatal("healthy round must not alarm")
+	}
+	// Two failed rounds, then recovery: below the threshold.
+	if a := d.Observe(mesh(false, true)); a != nil {
+		t.Fatal("first failed round must not alarm")
+	}
+	if a := d.Observe(mesh(false, true)); a != nil {
+		t.Fatal("second failed round must not alarm")
+	}
+	if a := d.Observe(mesh(true, true)); a != nil {
+		t.Fatal("recovery must not alarm")
+	}
+	// The streak was reset: two more failed rounds still no alarm.
+	d.Observe(mesh(false, true))
+	if a := d.Observe(mesh(false, true)); a != nil {
+		t.Fatal("streak must reset after recovery")
+	}
+}
+
+func TestPersistentFailureAlarms(t *testing.T) {
+	d := New(Config{Confirm: 3})
+	healthy := mesh(true, true)
+	d.Observe(healthy)
+	d.Observe(mesh(false, true))
+	d.Observe(mesh(false, true))
+	a := d.Observe(mesh(false, true))
+	if a == nil {
+		t.Fatal("third consecutive failure must alarm")
+	}
+	if a.Round != 4 {
+		t.Fatalf("alarm round = %d, want 4", a.Round)
+	}
+	if a.Baseline != healthy {
+		t.Fatal("alarm must carry the last healthy mesh as baseline")
+	}
+	if len(a.FailedPairs) != 1 || a.FailedPairs[0] != [2]int{0, 1} {
+		t.Fatalf("failed pairs = %v", a.FailedPairs)
+	}
+	// The ongoing event must not re-alarm.
+	if again := d.Observe(mesh(false, true)); again != nil {
+		t.Fatal("ongoing event must not alarm twice")
+	}
+	// After recovery, a new persistent event alarms again.
+	d.Observe(mesh(true, true))
+	d.Observe(mesh(true, false))
+	d.Observe(mesh(true, false))
+	if a := d.Observe(mesh(true, false)); a == nil {
+		t.Fatal("new event after recovery must alarm")
+	} else if a.FailedPairs[0] != [2]int{1, 0} {
+		t.Fatalf("failed pairs = %v", a.FailedPairs)
+	}
+}
+
+func TestNoBaselineNoAlarm(t *testing.T) {
+	d := New(Config{Confirm: 1})
+	// Failures from the very first round: there is no T- baseline, so the
+	// diagnoser has nothing to compare against.
+	if a := d.Observe(mesh(false, true)); a != nil {
+		t.Fatal("no baseline yet: must not alarm")
+	}
+}
+
+func TestDefaultConfirm(t *testing.T) {
+	d := New(Config{})
+	d.Observe(mesh(true, true))
+	d.Observe(mesh(false, true))
+	d.Observe(mesh(false, true))
+	if a := d.Observe(mesh(false, true)); a == nil {
+		t.Fatal("default Confirm should be 3")
+	}
+}
+
+func TestDetectorWithSimulatedNetwork(t *testing.T) {
+	f := topology.BuildFig2()
+	net, err := netsim.New(f.Topo, []topology.ASN{f.ASA, f.ASB, f.ASC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensors := []topology.RouterID{f.S1, f.S2, f.S3}
+	d := New(Config{Confirm: 2})
+
+	// Two healthy rounds.
+	d.Observe(net.Mesh(sensors))
+	d.Observe(net.Mesh(sensors))
+
+	// A flap: fail, measure once, restore.
+	l, _ := f.Topo.LinkBetween(f.R["b1"], f.R["b2"])
+	net.FailLink(l.ID)
+	if err := net.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	if a := d.Observe(net.Mesh(sensors)); a != nil {
+		t.Fatal("single flap round must not alarm with Confirm=2")
+	}
+	net.RestoreLink(l.ID)
+	if err := net.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(net.Mesh(sensors))
+
+	// A persistent failure: two consecutive rounds.
+	net.FailLink(l.ID)
+	if err := net.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(net.Mesh(sensors))
+	a := d.Observe(net.Mesh(sensors))
+	if a == nil {
+		t.Fatal("persistent failure must alarm")
+	}
+	if a.Baseline.AnyFailed() {
+		t.Fatal("baseline must be healthy")
+	}
+	if !a.Current.AnyFailed() {
+		t.Fatal("current mesh must show the failure")
+	}
+	// The alarm payload feeds straight into the diagnosis pipeline; check
+	// the failed pairs involve sensor 1 (s2, inside AS-B).
+	for _, p := range a.FailedPairs {
+		if p[0] != 1 && p[1] != 1 {
+			t.Fatalf("unexpected failed pair %v", p)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := New(Config{Confirm: 2})
+	if d.Round() != 0 || d.Baseline() != nil {
+		t.Fatal("fresh detector state")
+	}
+	m := mesh(true, true)
+	d.Observe(m)
+	if d.Round() != 1 {
+		t.Fatalf("round = %d", d.Round())
+	}
+	if d.Baseline() != m {
+		t.Fatal("healthy mesh should become the baseline")
+	}
+	bad := mesh(false, true)
+	d.Observe(bad)
+	if d.Baseline() != m {
+		t.Fatal("failed round must not replace the baseline")
+	}
+}
+
+func TestPairRecoveryWhileOtherFails(t *testing.T) {
+	// Pair A flaps while pair B persists: only B confirms.
+	d := New(Config{Confirm: 2})
+	d.Observe(mesh(true, true))
+	d.Observe(mesh(false, false))
+	a := d.Observe(mesh(true, false))
+	if a == nil {
+		t.Fatal("pair B persisted for 2 rounds")
+	}
+	if len(a.FailedPairs) != 1 || a.FailedPairs[0] != [2]int{1, 0} {
+		t.Fatalf("confirmed pairs = %v, want only 1->0", a.FailedPairs)
+	}
+}

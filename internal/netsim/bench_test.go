@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"testing"
+
+	"netdiag/internal/topology"
+)
+
+func benchNetwork(b *testing.B) (*Network, []topology.RouterID) {
+	b.Helper()
+	res, err := topology.GenerateResearch(topology.DefaultResearchConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var origins []topology.ASN
+	var sensors []topology.RouterID
+	for i := 0; i < 10; i++ {
+		as := res.Stubs[i*13]
+		origins = append(origins, as)
+		sensors = append(sensors, res.Topo.AS(as).Routers[0])
+	}
+	n, err := New(res.Topo, origins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n, sensors
+}
+
+// BenchmarkTraceroute measures one forwarding walk across the internet.
+func BenchmarkTraceroute(b *testing.B) {
+	n, sensors := benchNetwork(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !n.Traceroute(sensors[0], sensors[9]).OK {
+			b.Fatal("path failed")
+		}
+	}
+}
+
+// BenchmarkFullMesh measures the 90-traceroute measurement round the
+// sensors perform each period.
+func BenchmarkFullMesh(b *testing.B) {
+	n, sensors := benchNetwork(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n.Mesh(sensors).AnyFailed() {
+			b.Fatal("healthy mesh failed")
+		}
+	}
+}
+
+// BenchmarkFailureTrial measures a full fail-reconverge-measure-restore
+// cycle, the unit of every evaluation run.
+func BenchmarkFailureTrial(b *testing.B) {
+	n, sensors := benchNetwork(b)
+	cp := n.Checkpoint()
+	link := n.Topology().Links()[0].ID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.FailLink(link)
+		if err := n.Reconverge(); err != nil {
+			b.Fatal(err)
+		}
+		n.Mesh(sensors)
+		n.Restore(cp)
+	}
+}
+
+// BenchmarkAllPaths measures multipath enumeration for one pair.
+func BenchmarkAllPaths(b *testing.B) {
+	n, sensors := benchNetwork(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(n.AllPaths(sensors[0], sensors[9], 16)) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}

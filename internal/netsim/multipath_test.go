@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"testing"
+
+	"netdiag/internal/topology"
+)
+
+// diamond builds one AS with an ECMP diamond: a - {m1,m2} - b, equal costs.
+func diamond(t *testing.T) (*topology.Topology, topology.RouterID, topology.RouterID) {
+	t.Helper()
+	b := topology.NewBuilder()
+	b.AddAS(1, topology.Core, "d")
+	a := b.AddRouter(1, "a")
+	m1 := b.AddRouter(1, "m1")
+	m2 := b.AddRouter(1, "m2")
+	z := b.AddRouter(1, "z")
+	b.Connect(a, m1, 1)
+	b.Connect(a, m2, 1)
+	b.Connect(m1, z, 1)
+	b.Connect(m2, z, 1)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, a, z
+}
+
+func TestAllPathsECMPDiamond(t *testing.T) {
+	topo, a, z := diamond(t)
+	n, err := New(topo, []topology.ASN{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := n.AllPaths(a, z, 0)
+	if len(paths) != 2 {
+		t.Fatalf("want 2 ECMP paths, got %d", len(paths))
+	}
+	for _, p := range paths {
+		if !p.OK || len(p.Hops) != 3 {
+			t.Fatalf("malformed path %v", p)
+		}
+	}
+	// The deterministic single-path traceroute must be one of them.
+	single := n.Traceroute(a, z)
+	match := false
+	for _, p := range paths {
+		if len(p.Hops) == len(single.Hops) && p.Hops[1].Router == single.Hops[1].Router {
+			match = true
+		}
+	}
+	if !match {
+		t.Fatal("Traceroute path missing from AllPaths")
+	}
+}
+
+func TestAllPathsLimit(t *testing.T) {
+	topo, a, z := diamond(t)
+	n, err := New(topo, []topology.ASN{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.AllPaths(a, z, 1); len(got) != 1 {
+		t.Fatalf("limit 1 returned %d paths", len(got))
+	}
+}
+
+func TestAllPathsUnreachable(t *testing.T) {
+	topo, a, z := diamond(t)
+	n, err := New(topo, []topology.ASN{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail both diamond arms into z.
+	for _, lid := range topo.Router(z).Links {
+		n.FailLink(lid)
+	}
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.AllPaths(a, z, 0); len(got) != 0 {
+		t.Fatalf("unreachable destination returned %d paths", len(got))
+	}
+}
+
+func TestAllPathsInterdomainMatchesTraceroute(t *testing.T) {
+	f := topology.BuildFig2()
+	n, err := New(f.Topo, []topology.ASN{f.ASA, f.ASB, f.ASC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig2 has no ECMP ties: AllPaths must return exactly the traceroute.
+	paths := n.AllPaths(f.S1, f.S3, 0)
+	if len(paths) != 1 {
+		t.Fatalf("want a single path, got %d", len(paths))
+	}
+	single := n.Traceroute(f.S1, f.S3)
+	if len(paths[0].Hops) != len(single.Hops) {
+		t.Fatalf("AllPaths disagrees with Traceroute: %v vs %v", paths[0], single)
+	}
+	for i := range single.Hops {
+		if paths[0].Hops[i].Router != single.Hops[i].Router {
+			t.Fatalf("hop %d differs", i)
+		}
+	}
+}
+
+func TestNextHopsSubsetInvariant(t *testing.T) {
+	// Every router's single NextHop must be the first of NextHops, across
+	// a research topology core.
+	res, err := topology.GenerateResearch(topology.DefaultResearchConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(res.Topo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routers := res.Topo.AS(res.Cores[1]).Routers
+	for _, a := range routers {
+		for _, b := range routers {
+			if a == b {
+				continue
+			}
+			hops := n.IGP().NextHops(a, b)
+			single, ok := n.IGP().NextHop(a, b)
+			if !ok || len(hops) == 0 {
+				t.Fatalf("connected AS missing next hops %d->%d", a, b)
+			}
+			if hops[0] != single {
+				t.Fatalf("NextHop %d != NextHops[0] %d", single, hops[0])
+			}
+		}
+	}
+}

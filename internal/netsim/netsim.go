@@ -1,0 +1,370 @@
+// Package netsim ties the substrates together into a runnable network: a
+// topology with IGP and BGP state, failure injection (link failures, router
+// failures, BGP export-filter misconfigurations), a forwarding engine, and
+// simulated traceroute. It plays the role C-BGP plays in the paper's
+// evaluation (§4).
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"netdiag/internal/bgp"
+	"netdiag/internal/igp"
+	"netdiag/internal/probe"
+	"netdiag/internal/topology"
+)
+
+// MaxTTL bounds the forwarding walk, like a real traceroute's max hop count.
+const MaxTTL = 64
+
+// Network is a simulated internetwork in a consistent, converged state.
+// Mutate it with FailLink/FailRouter/AddExportFilter and call Reconverge
+// before issuing new traceroutes.
+type Network struct {
+	topo     *topology.Topology
+	linkUp   []bool
+	routerUp []bool
+	filters  []bgp.ExportFilter
+	origins  map[bgp.Prefix]topology.ASN
+
+	igp       *igp.State
+	bgp       *bgp.State
+	converged bool
+}
+
+// New builds a network announcing one prefix per AS in originASes and
+// converges it.
+func New(topo *topology.Topology, originASes []topology.ASN) (*Network, error) {
+	n := &Network{
+		topo:     topo,
+		linkUp:   make([]bool, topo.NumLinks()),
+		routerUp: make([]bool, topo.NumRouters()),
+		origins:  map[bgp.Prefix]topology.ASN{},
+	}
+	for i := range n.linkUp {
+		n.linkUp[i] = true
+	}
+	for i := range n.routerUp {
+		n.routerUp[i] = true
+	}
+	for _, as := range originASes {
+		if topo.AS(as) == nil {
+			return nil, fmt.Errorf("netsim: origin AS%d not in topology", as)
+		}
+		n.origins[bgp.PrefixFor(as)] = as
+	}
+	if err := n.Reconverge(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// IGP returns the converged IGP state.
+func (n *Network) IGP() *igp.State { return n.igp }
+
+// BGP returns the converged BGP state.
+func (n *Network) BGP() *bgp.State { return n.bgp }
+
+// LinkIsUp reports whether a physical link is currently up (both the link
+// itself and both endpoint routers).
+func (n *Network) LinkIsUp(id topology.LinkID) bool {
+	l := n.topo.Link(id)
+	return n.linkUp[id] && n.routerUp[l.A] && n.routerUp[l.B]
+}
+
+// RouterIsUp reports router liveness.
+func (n *Network) RouterIsUp(r topology.RouterID) bool { return n.routerUp[r] }
+
+// FailLink takes a physical link down. Call Reconverge afterwards.
+func (n *Network) FailLink(id topology.LinkID) {
+	n.linkUp[id] = false
+	n.converged = false
+}
+
+// RestoreLink brings a physical link back up. Call Reconverge afterwards.
+func (n *Network) RestoreLink(id topology.LinkID) {
+	n.linkUp[id] = true
+	n.converged = false
+}
+
+// FailRouter takes a router down along with all its links' sessions.
+func (n *Network) FailRouter(r topology.RouterID) {
+	n.routerUp[r] = false
+	n.converged = false
+}
+
+// AddExportFilter installs a BGP export filter (a simulated
+// misconfiguration). Call Reconverge afterwards.
+func (n *Network) AddExportFilter(f bgp.ExportFilter) {
+	n.filters = append(n.filters, f)
+	n.converged = false
+}
+
+// ClearFaults restores all links and routers and removes all filters.
+func (n *Network) ClearFaults() {
+	for i := range n.linkUp {
+		n.linkUp[i] = true
+	}
+	for i := range n.routerUp {
+		n.routerUp[i] = true
+	}
+	n.filters = nil
+	n.converged = false
+}
+
+// Reconverge recomputes IGP and BGP state for the current fault set.
+func (n *Network) Reconverge() error {
+	isUp := n.LinkIsUp
+	n.igp = igp.New(n.topo, isUp)
+	st, err := bgp.Compute(bgp.Config{
+		Topo:       n.topo,
+		IGP:        n.igp,
+		IsLinkUp:   isUp,
+		IsRouterUp: n.RouterIsUp,
+		Origins:    n.origins,
+		Filters:    n.filters,
+	})
+	if err != nil {
+		return err
+	}
+	n.bgp = st
+	n.converged = true
+	return nil
+}
+
+// Checkpoint captures the converged routing state so experiment loops can
+// return to the healthy network without recomputing convergence.
+type Checkpoint struct {
+	igp *igp.State
+	bgp *bgp.State
+}
+
+// Checkpoint snapshots the current converged state. It panics if the
+// network has pending unconverged mutations.
+func (n *Network) Checkpoint() Checkpoint {
+	if !n.converged {
+		panic("netsim: Checkpoint on unconverged network")
+	}
+	return Checkpoint{igp: n.igp, bgp: n.bgp}
+}
+
+// Restore clears all faults and filters and reinstates a checkpointed
+// routing state. The checkpoint must have been taken with no faults active.
+func (n *Network) Restore(cp Checkpoint) {
+	for i := range n.linkUp {
+		n.linkUp[i] = true
+	}
+	for i := range n.routerUp {
+		n.routerUp[i] = true
+	}
+	n.filters = nil
+	n.igp = cp.igp
+	n.bgp = cp.bgp
+	n.converged = true
+}
+
+// forward computes the next hop from cur towards destination router dst,
+// or ok=false on a blackhole.
+func (n *Network) forward(cur, dst topology.RouterID) (topology.RouterID, bool) {
+	topo := n.topo
+	if topo.RouterAS(cur) == topo.RouterAS(dst) {
+		return n.igp.NextHop(cur, dst)
+	}
+	p := bgp.PrefixFor(topo.RouterAS(dst))
+	rt, ok := n.bgp.Best(cur, p)
+	if !ok {
+		return 0, false
+	}
+	if rt.Egress == cur && !rt.Local {
+		// We are the border router: hand off over the eBGP session.
+		return rt.PeerRouter, true
+	}
+	return n.igp.NextHop(cur, rt.Egress)
+}
+
+// Traceroute walks the forwarding state from src to dst and reports the
+// hop sequence, like the paper's sensors do. The network must be converged.
+func (n *Network) Traceroute(src, dst topology.RouterID) *probe.Path {
+	if !n.converged {
+		panic("netsim: Traceroute on unconverged network")
+	}
+	p := &probe.Path{Src: src, Dst: dst}
+	if !n.routerUp[src] || !n.routerUp[dst] {
+		p.Hops = append(p.Hops, n.hop(src))
+		return p
+	}
+	visited := map[topology.RouterID]bool{}
+	cur := src
+	p.Hops = append(p.Hops, n.hop(cur))
+	for ttl := 0; ttl < MaxTTL; ttl++ {
+		if cur == dst {
+			p.OK = true
+			return p
+		}
+		if visited[cur] {
+			return p // forwarding loop: path fails
+		}
+		visited[cur] = true
+		next, ok := n.forward(cur, dst)
+		if !ok || !n.routerUp[next] {
+			return p // blackhole
+		}
+		if l, ok := n.topo.LinkBetween(cur, next); !ok || !n.LinkIsUp(l.ID) {
+			// The control plane points at a dead link (stale route):
+			// traffic is dropped here.
+			return p
+		}
+		cur = next
+		p.Hops = append(p.Hops, n.hop(cur))
+	}
+	return p
+}
+
+func (n *Network) hop(r topology.RouterID) probe.Hop {
+	rt := n.topo.Router(r)
+	return probe.Hop{Addr: rt.Addr, Router: r, AS: rt.AS}
+}
+
+// forwardAll returns every next hop cur may use towards dst under ECMP:
+// the full equal-cost next-hop set inside an AS, the single eBGP handoff
+// at a border. It returns nil on a blackhole.
+func (n *Network) forwardAll(cur, dst topology.RouterID) []topology.RouterID {
+	topo := n.topo
+	if topo.RouterAS(cur) == topo.RouterAS(dst) {
+		return n.igp.NextHops(cur, dst)
+	}
+	p := bgp.PrefixFor(topo.RouterAS(dst))
+	rt, ok := n.bgp.Best(cur, p)
+	if !ok {
+		return nil
+	}
+	if rt.Egress == cur && !rt.Local {
+		return []topology.RouterID{rt.PeerRouter}
+	}
+	return n.igp.NextHops(cur, rt.Egress)
+}
+
+// AllPaths enumerates the distinct forwarding paths from src to dst when
+// routers spread traffic over equal-cost shortest paths — what a
+// Paris-traceroute-style measurement discovers (paper §2.2). At most limit
+// paths are returned (0 means 64). Only complete paths are reported; an
+// empty result means dst is unreachable.
+func (n *Network) AllPaths(src, dst topology.RouterID, limit int) []*probe.Path {
+	if !n.converged {
+		panic("netsim: AllPaths on unconverged network")
+	}
+	if limit <= 0 {
+		limit = 64
+	}
+	var out []*probe.Path
+	if !n.routerUp[src] || !n.routerUp[dst] {
+		return nil
+	}
+	var walk func(cur topology.RouterID, hops []probe.Hop, visited map[topology.RouterID]bool)
+	walk = func(cur topology.RouterID, hops []probe.Hop, visited map[topology.RouterID]bool) {
+		if len(out) >= limit {
+			return
+		}
+		if cur == dst {
+			p := &probe.Path{Src: src, Dst: dst, OK: true}
+			p.Hops = append(p.Hops, hops...)
+			out = append(out, p)
+			return
+		}
+		if visited[cur] || len(hops) > MaxTTL {
+			return
+		}
+		visited[cur] = true
+		defer delete(visited, cur)
+		for _, next := range n.forwardAll(cur, dst) {
+			if !n.routerUp[next] {
+				continue
+			}
+			if l, ok := n.topo.LinkBetween(cur, next); !ok || !n.LinkIsUp(l.ID) {
+				continue
+			}
+			walk(next, append(hops, n.hop(next)), visited)
+		}
+	}
+	walk(src, []probe.Hop{n.hop(src)}, map[topology.RouterID]bool{})
+	return out
+}
+
+// Mesh runs the full mesh of traceroutes among the sensors.
+func (n *Network) Mesh(sensors []topology.RouterID) *probe.Mesh {
+	m := probe.NewMesh(sensors)
+	for i, a := range sensors {
+		for j, b := range sensors {
+			if i == j {
+				continue
+			}
+			m.Paths[i][j] = n.Traceroute(a, b)
+		}
+	}
+	return m
+}
+
+// Withdrawal is a BGP withdrawal observed at an AS-X border router from an
+// eBGP neighbor for a prefix (paper §3.3).
+type Withdrawal struct {
+	At     topology.RouterID
+	From   topology.RouterID
+	Prefix bgp.Prefix
+}
+
+// Withdrawals diffs the Adj-RIB-Ins of AS-X's border routers between two
+// converged states and returns the withdrawals AS-X observed. Sessions
+// that are down in the after state produce no withdrawals (that is a
+// session loss, which AS-X observes through its own interface state, not
+// through a BGP message).
+func Withdrawals(topo *topology.Topology, before, after *bgp.State, asx topology.ASN) []Withdrawal {
+	var out []Withdrawal
+	for _, r := range topo.AS(asx).Routers {
+		liveAfter := map[topology.RouterID]bool{}
+		for _, nb := range after.EBGPNeighbors(r) {
+			liveAfter[nb] = true
+		}
+		for _, nb := range before.EBGPNeighbors(r) {
+			if !liveAfter[nb] {
+				continue
+			}
+			pre := before.AdjInPrefixes(r, nb)
+			post := after.AdjInPrefixes(r, nb)
+			for p := range pre {
+				if !post[p] {
+					out = append(out, Withdrawal{At: r, From: nb, Prefix: p})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.Prefix < b.Prefix
+	})
+	return out
+}
+
+// IGPLinkDowns returns the failed intra-AS links of asx — the "link down"
+// IGP messages the troubleshooter in AS-X observes from its own network.
+func (n *Network) IGPLinkDowns(asx topology.ASN) []igp.LinkDown {
+	var out []igp.LinkDown
+	for _, l := range n.topo.IntraLinks(asx) {
+		if !n.LinkIsUp(l.ID) {
+			out = append(out, igp.LinkDown{AS: asx, Link: l.ID})
+		}
+	}
+	return out
+}
+
+// Origins exposes prefix origins (used by adapters and Looking Glasses).
+func (n *Network) Origins() map[bgp.Prefix]topology.ASN { return n.origins }

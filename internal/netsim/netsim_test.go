@@ -1,0 +1,303 @@
+package netsim
+
+import (
+	"testing"
+
+	"netdiag/internal/bgp"
+	"netdiag/internal/topology"
+)
+
+func fig2Net(t *testing.T) (*topology.Fig2, *Network) {
+	t.Helper()
+	f := topology.BuildFig2()
+	n, err := New(f.Topo, []topology.ASN{f.ASA, f.ASB, f.ASC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, n
+}
+
+func pathNames(f *topology.Fig2, p []string) map[int]string {
+	names := map[int]string{}
+	for i, s := range p {
+		names[i] = s
+	}
+	return names
+}
+
+func TestTracerouteFig2Paths(t *testing.T) {
+	f, n := fig2Net(t)
+	p := n.Traceroute(f.S1, f.S2)
+	if !p.OK {
+		t.Fatalf("s1->s2 failed: %v", p)
+	}
+	want := []string{"s1", "a1", "a2", "x1", "x2", "y1", "y4", "b1", "b2", "s2"}
+	if len(p.Hops) != len(want) {
+		t.Fatalf("s1->s2 hops = %d (%v), want %d", len(p.Hops), p, len(want))
+	}
+	for i, name := range want {
+		if p.Hops[i].Router != f.R[name] && !(name == "s1" && p.Hops[i].Router == f.S1) &&
+			!(name == "s2" && p.Hops[i].Router == f.S2) {
+			t.Fatalf("hop %d = router %d, want %s", i, p.Hops[i].Router, name)
+		}
+	}
+
+	q := n.Traceroute(f.S1, f.S3)
+	wantQ := []string{"s1", "a1", "a2", "x1", "x2", "y1", "y2", "y3", "c1", "c2", "s3"}
+	if !q.OK || len(q.Hops) != len(wantQ) {
+		t.Fatalf("s1->s3 = %v, want %d hops", q, len(wantQ))
+	}
+	_ = pathNames
+}
+
+func TestLinkFailureBreaksPath(t *testing.T) {
+	f, n := fig2Net(t)
+	l, _ := f.Topo.LinkBetween(f.R["b1"], f.R["b2"])
+	n.FailLink(l.ID)
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	p := n.Traceroute(f.S1, f.S2)
+	if p.OK {
+		t.Fatal("s1->s2 should fail after b1-b2 failure")
+	}
+	q := n.Traceroute(f.S1, f.S3)
+	if !q.OK {
+		t.Fatal("s1->s3 should still work")
+	}
+	// Restore and verify recovery.
+	n.RestoreLink(l.ID)
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Traceroute(f.S1, f.S2).OK {
+		t.Fatal("s1->s2 should recover after restore")
+	}
+}
+
+func TestReroutedPathAfterIntraFailure(t *testing.T) {
+	// Failing y1-y2 reroutes s1->s3 via y4-y3 instead of breaking it.
+	f, n := fig2Net(t)
+	before := n.Traceroute(f.S1, f.S3)
+	l, _ := f.Topo.LinkBetween(f.R["y1"], f.R["y2"])
+	n.FailLink(l.ID)
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	after := n.Traceroute(f.S1, f.S3)
+	if !after.OK {
+		t.Fatalf("s1->s3 should be rerouted, got %v", after)
+	}
+	if len(after.Hops) == len(before.Hops) {
+		same := true
+		for i := range after.Hops {
+			if after.Hops[i].Router != before.Hops[i].Router {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("path should have changed after y1-y2 failure")
+		}
+	}
+	// The rerouted path must traverse y4.
+	seenY4 := false
+	for _, h := range after.Hops {
+		if h.Router == f.R["y4"] {
+			seenY4 = true
+		}
+	}
+	if !seenY4 {
+		t.Fatalf("rerouted path should use y4: %v", after)
+	}
+}
+
+func TestMeshAndReachability(t *testing.T) {
+	f, n := fig2Net(t)
+	sensors := []topology.RouterID{f.S1, f.S2, f.S3}
+	m := n.Mesh(sensors)
+	if m.AnyFailed() {
+		t.Fatal("healthy network must have a fully reachable mesh")
+	}
+	r := m.Reachability()
+	for i := range r {
+		for j := range r[i] {
+			if !r[i][j] {
+				t.Fatalf("R[%d][%d] = false in healthy network", i, j)
+			}
+		}
+	}
+	// Fail B's internal link: rows/cols touching s2 fail.
+	l, _ := f.Topo.LinkBetween(f.R["b1"], f.R["b2"])
+	n.FailLink(l.ID)
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := n.Mesh(sensors)
+	r2 := m2.Reachability()
+	if r2[0][1] || r2[1][0] || r2[2][1] || r2[1][2] {
+		t.Fatal("paths to/from s2 should fail")
+	}
+	if !r2[0][2] || !r2[2][0] {
+		t.Fatal("s1<->s3 should still work")
+	}
+	if !m2.AnyFailed() {
+		t.Fatal("AnyFailed should be true")
+	}
+}
+
+func TestWithdrawalsObservedAtASX(t *testing.T) {
+	f, n := fig2Net(t)
+	before := n.BGP()
+	// Fail the Y-B link: y1 withdraws B's prefix from x2.
+	l, _ := f.Topo.LinkBetween(f.R["y4"], f.R["b1"])
+	n.FailLink(l.ID)
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	w := Withdrawals(f.Topo, before, n.BGP(), f.ASX)
+	found := false
+	for _, wd := range w {
+		if wd.At == f.R["x2"] && wd.From == f.R["y1"] && wd.Prefix == bgp.PrefixFor(f.ASB) {
+			found = true
+		}
+		if wd.Prefix == bgp.PrefixFor(f.ASC) {
+			t.Fatalf("spurious withdrawal for C: %+v", wd)
+		}
+	}
+	if !found {
+		t.Fatalf("expected withdrawal of B at x2 from y1, got %+v", w)
+	}
+}
+
+func TestSessionLossProducesNoWithdrawals(t *testing.T) {
+	f, n := fig2Net(t)
+	before := n.BGP()
+	// Fail the X-Y link itself: x2 loses the session; that must NOT be
+	// reported as withdrawals.
+	l, _ := f.Topo.LinkBetween(f.R["x2"], f.R["y1"])
+	n.FailLink(l.ID)
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	for _, wd := range Withdrawals(f.Topo, before, n.BGP(), f.ASX) {
+		if wd.At == f.R["x2"] && wd.From == f.R["y1"] {
+			t.Fatalf("withdrawal reported across a dead session: %+v", wd)
+		}
+	}
+}
+
+func TestIGPLinkDowns(t *testing.T) {
+	f, n := fig2Net(t)
+	if got := n.IGPLinkDowns(f.ASY); len(got) != 0 {
+		t.Fatalf("healthy AS-Y reports link downs: %v", got)
+	}
+	l, _ := f.Topo.LinkBetween(f.R["y1"], f.R["y2"])
+	n.FailLink(l.ID)
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	got := n.IGPLinkDowns(f.ASY)
+	if len(got) != 1 || got[0].Link != l.ID {
+		t.Fatalf("IGPLinkDowns = %v, want [%d]", got, l.ID)
+	}
+	if downs := n.IGPLinkDowns(f.ASX); len(downs) != 0 {
+		t.Fatalf("AS-X should see no link downs: %v", downs)
+	}
+}
+
+func TestRouterFailureBreaksTransit(t *testing.T) {
+	f, n := fig2Net(t)
+	n.FailRouter(f.R["y1"])
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Traceroute(f.S1, f.S2).OK {
+		t.Fatal("s1->s2 should fail when y1 dies (only X-Y peering point)")
+	}
+	if n.Traceroute(f.S2, f.S3).OK != true {
+		t.Fatal("s2->s3 inside Y should survive via y4-y3")
+	}
+}
+
+func TestMisconfigurationPartialFailure(t *testing.T) {
+	// The paper's motivating partial failure: the x2-y1 link works for
+	// s1->s2 but not for s1->s3.
+	f, n := fig2Net(t)
+	n.AddExportFilter(bgp.ExportFilter{
+		Router: f.R["y1"], Peer: f.R["x2"], Prefix: bgp.PrefixFor(f.ASC),
+	})
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Traceroute(f.S1, f.S2).OK {
+		t.Fatal("s1->s2 must keep working under the misconfiguration")
+	}
+	if n.Traceroute(f.S1, f.S3).OK {
+		t.Fatal("s1->s3 must fail under the misconfiguration")
+	}
+	// Reverse direction s3->s1 still works (Y has a route to A via X).
+	if !n.Traceroute(f.S3, f.S1).OK {
+		t.Fatal("s3->s1 should still work: only X's view of C is filtered")
+	}
+}
+
+func TestMaskProducesUHs(t *testing.T) {
+	f, n := fig2Net(t)
+	m := n.Mesh([]topology.RouterID{f.S1, f.S2, f.S3})
+	masked := m.Mask(map[topology.ASN]bool{f.ASY: true})
+	p := masked.Paths[0][1] // s1->s2 crosses Y (y1, y4)
+	uhs := 0
+	for _, h := range p.Hops {
+		if h.Unidentified {
+			uhs++
+			if h.Addr != "*" {
+				t.Fatalf("UH hop must print *, got %q", h.Addr)
+			}
+		}
+	}
+	if uhs != 2 {
+		t.Fatalf("s1->s2 should have 2 UHs (y1,y4), got %d", uhs)
+	}
+	// Original mesh untouched.
+	for _, h := range m.Paths[0][1].Hops {
+		if h.Unidentified {
+			t.Fatal("Mask mutated the original mesh")
+		}
+	}
+}
+
+func TestTracerouteOnResearchTopology(t *testing.T) {
+	res, err := topology.GenerateResearch(topology.DefaultResearchConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensorASes := []topology.ASN{res.Stubs[3], res.Stubs[50], res.Stubs[99], res.Stubs[120]}
+	n, err := New(res.Topo, sensorASes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sensors []topology.RouterID
+	for _, as := range sensorASes {
+		sensors = append(sensors, res.Topo.AS(as).Routers[0])
+	}
+	m := n.Mesh(sensors)
+	if m.AnyFailed() {
+		t.Fatal("healthy research topology must be fully reachable")
+	}
+	// Paths must be valley-free at the AS level and never repeat a router.
+	for i := range m.Paths {
+		for j, p := range m.Paths[i] {
+			if i == j {
+				continue
+			}
+			seen := map[topology.RouterID]bool{}
+			for _, h := range p.Hops {
+				if seen[h.Router] {
+					t.Fatalf("router repeated on path %d->%d", i, j)
+				}
+				seen[h.Router] = true
+			}
+		}
+	}
+}

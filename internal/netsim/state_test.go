@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"testing"
+
+	"netdiag/internal/bgp"
+	"netdiag/internal/topology"
+)
+
+func TestCheckpointRestore(t *testing.T) {
+	f := topology.BuildFig2()
+	n, err := New(f.Topo, []topology.ASN{f.ASA, f.ASB, f.ASC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := n.Checkpoint()
+	sensors := []topology.RouterID{f.S1, f.S2, f.S3}
+	healthy := n.Mesh(sensors)
+
+	// Break things thoroughly.
+	l, _ := f.Topo.LinkBetween(f.R["b1"], f.R["b2"])
+	n.FailLink(l.ID)
+	n.FailRouter(f.R["y2"])
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Mesh(sensors).AnyFailed() {
+		t.Fatal("faults should break the mesh")
+	}
+
+	// Restore: the network must behave exactly like the healthy one
+	// without reconverging.
+	n.Restore(cp)
+	if !n.LinkIsUp(l.ID) || !n.RouterIsUp(f.R["y2"]) {
+		t.Fatal("Restore must clear faults")
+	}
+	m := n.Mesh(sensors)
+	if m.AnyFailed() {
+		t.Fatal("restored network must be healthy")
+	}
+	for i := range m.Paths {
+		for j, p := range m.Paths[i] {
+			if i == j {
+				continue
+			}
+			h := healthy.Paths[i][j]
+			if len(p.Hops) != len(h.Hops) {
+				t.Fatalf("restored path %d->%d differs from healthy", i, j)
+			}
+			for k := range p.Hops {
+				if p.Hops[k].Router != h.Hops[k].Router {
+					t.Fatalf("restored hop differs at %d->%d[%d]", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointPanicsUnconverged(t *testing.T) {
+	f := topology.BuildFig2()
+	n, err := New(f.Topo, []topology.ASN{f.ASA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.FailLink(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Checkpoint on unconverged network must panic")
+		}
+	}()
+	n.Checkpoint()
+}
+
+func TestTraceroutePanicsUnconverged(t *testing.T) {
+	f := topology.BuildFig2()
+	n, err := New(f.Topo, []topology.ASN{f.ASA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.FailLink(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Traceroute on unconverged network must panic")
+		}
+	}()
+	n.Traceroute(f.S1, f.S2)
+}
+
+func TestNewRejectsUnknownOrigin(t *testing.T) {
+	f := topology.BuildFig2()
+	if _, err := New(f.Topo, []topology.ASN{9999}); err == nil {
+		t.Fatal("unknown origin AS must be rejected")
+	}
+}
+
+func TestClearFaults(t *testing.T) {
+	f := topology.BuildFig2()
+	n, err := New(f.Topo, []topology.ASN{f.ASA, f.ASB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.FailLink(0)
+	n.FailRouter(f.R["y1"])
+	n.AddExportFilter(bgp.ExportFilter{
+		Router: f.R["y1"], Peer: f.R["x2"], Prefix: bgp.PrefixFor(f.ASB),
+	})
+	n.ClearFaults()
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Traceroute(f.S1, f.S2).OK {
+		t.Fatal("ClearFaults should restore full reachability")
+	}
+}
+
+func TestForwardingFollowsBGPEgress(t *testing.T) {
+	// In Fig2, traffic from x1 towards AS-C must leave X at x2 (the only
+	// X-Y session) and enter Y at y1: the walk follows the BGP egress via
+	// IGP, then hands off on the eBGP session.
+	f := topology.BuildFig2()
+	n, err := New(f.Topo, []topology.ASN{f.ASC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := n.Traceroute(f.R["x1"], f.R["c2"])
+	if !p.OK {
+		t.Fatalf("x1 -> c2 failed: %v", p)
+	}
+	want := []topology.RouterID{f.R["x1"], f.R["x2"], f.R["y1"], f.R["y2"], f.R["y3"], f.R["c1"], f.R["c2"]}
+	if len(p.Hops) != len(want) {
+		t.Fatalf("hops = %v", p)
+	}
+	for i, w := range want {
+		if p.Hops[i].Router != w {
+			t.Fatalf("hop %d = %d, want %d", i, p.Hops[i].Router, w)
+		}
+	}
+}
+
+func TestTracerouteToDownRouter(t *testing.T) {
+	f := topology.BuildFig2()
+	n, err := New(f.Topo, []topology.ASN{f.ASB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.FailRouter(f.S2)
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	p := n.Traceroute(f.S1, f.S2)
+	if p.OK {
+		t.Fatal("traceroute to a dead router must fail")
+	}
+	q := n.Traceroute(f.S2, f.S1)
+	if q.OK || len(q.Hops) != 1 {
+		t.Fatalf("traceroute from a dead router should stop immediately: %v", q)
+	}
+}

@@ -1,0 +1,154 @@
+// Package probe defines the measurement-plane types: traceroute paths,
+// full-mesh measurement sets, and the masking of hops inside ASes that
+// block traceroute (the paper's "unidentified hops", §3.4).
+package probe
+
+import (
+	"fmt"
+
+	"netdiag/internal/topology"
+)
+
+// Hop is one traceroute hop. For hops inside traceroute-blocking ASes the
+// address is "*" and Unidentified is set; Router and AS keep the ground
+// truth for evaluation but the diagnosis algorithms never look at them on
+// unidentified hops.
+type Hop struct {
+	Addr         string
+	Router       topology.RouterID
+	AS           topology.ASN
+	Unidentified bool
+}
+
+// Path is a traceroute result from Src to Dst. Hops always starts with the
+// source router; when OK is true it ends at the destination router. When OK
+// is false the hop list is the partial path up to where forwarding stopped
+// (blackhole or loop).
+type Path struct {
+	Src, Dst topology.RouterID
+	Hops     []Hop
+	OK       bool
+}
+
+// Links returns the directed (router,router) pairs along the path.
+func (p *Path) Links() [][2]topology.RouterID {
+	if len(p.Hops) < 2 {
+		return nil
+	}
+	out := make([][2]topology.RouterID, 0, len(p.Hops)-1)
+	for i := 0; i+1 < len(p.Hops); i++ {
+		out = append(out, [2]topology.RouterID{p.Hops[i].Router, p.Hops[i+1].Router})
+	}
+	return out
+}
+
+// Mesh is a full mesh of traceroutes among sensors, the measurement unit of
+// the paper: every sensor traces to every other sensor and reports to AS-X.
+type Mesh struct {
+	Sensors []topology.RouterID
+	// Paths[i][j] is the traceroute from Sensors[i] to Sensors[j]; the
+	// diagonal is nil.
+	Paths [][]*Path
+}
+
+// NewMesh allocates an empty mesh for the given sensors.
+func NewMesh(sensors []topology.RouterID) *Mesh {
+	m := &Mesh{Sensors: sensors, Paths: make([][]*Path, len(sensors))}
+	for i := range m.Paths {
+		m.Paths[i] = make([]*Path, len(sensors))
+	}
+	return m
+}
+
+// Reachability returns the reachability matrix R of the paper: R[i][j]
+// is true when the path from sensor i to sensor j works.
+func (m *Mesh) Reachability() [][]bool {
+	r := make([][]bool, len(m.Sensors))
+	for i := range r {
+		r[i] = make([]bool, len(m.Sensors))
+		for j := range r[i] {
+			if i == j {
+				r[i][j] = true
+				continue
+			}
+			r[i][j] = m.Paths[i][j] != nil && m.Paths[i][j].OK
+		}
+	}
+	return r
+}
+
+// AnyFailed reports whether at least one sensor pair is unreachable — the
+// trigger condition for invoking the troubleshooter.
+func (m *Mesh) AnyFailed() bool {
+	for i := range m.Paths {
+		for j, p := range m.Paths[i] {
+			if i != j && (p == nil || !p.OK) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Mask returns a copy of the mesh with every hop inside a blocked AS turned
+// into an unidentified hop. Sensors themselves are never masked (they
+// actively participate), matching the paper's model where blocking hides
+// routers, not end hosts.
+func (m *Mesh) Mask(blocked map[topology.ASN]bool) *Mesh {
+	out := NewMesh(m.Sensors)
+	for i := range m.Paths {
+		for j, p := range m.Paths[i] {
+			if p == nil {
+				continue
+			}
+			cp := *p
+			cp.Hops = make([]Hop, len(p.Hops))
+			copy(cp.Hops, p.Hops)
+			for h := range cp.Hops {
+				hop := &cp.Hops[h]
+				if blocked[hop.AS] && hop.Router != p.Src && hop.Router != p.Dst {
+					hop.Addr = "*"
+					hop.Unidentified = true
+				}
+			}
+			out.Paths[i][j] = &cp
+		}
+	}
+	return out
+}
+
+// String renders a path like traceroute output, for logs and examples.
+func (p *Path) String() string {
+	s := ""
+	for i, h := range p.Hops {
+		if i > 0 {
+			s += " -> "
+		}
+		s += h.Addr
+	}
+	if !p.OK {
+		s += " -> !unreachable"
+	}
+	return s
+}
+
+// CoveredASes returns the set of ASes traversed by any path in the mesh,
+// counting unidentified hops' (ground-truth) ASes as covered — this is the
+// universe used for the paper's AS-level specificity.
+func (m *Mesh) CoveredASes() map[topology.ASN]bool {
+	out := map[topology.ASN]bool{}
+	for i := range m.Paths {
+		for _, p := range m.Paths[i] {
+			if p == nil {
+				continue
+			}
+			for _, h := range p.Hops {
+				out[h.AS] = true
+			}
+		}
+	}
+	return out
+}
+
+// PairKey formats a sensor pair for diagnostics.
+func PairKey(i, j int) string { return fmt.Sprintf("%d->%d", i, j) }

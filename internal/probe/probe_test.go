@@ -1,0 +1,128 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"netdiag/internal/topology"
+)
+
+func samplePath() *Path {
+	return &Path{
+		Src: 1, Dst: 4, OK: true,
+		Hops: []Hop{
+			{Addr: "10.0.0.1", Router: 1, AS: 10},
+			{Addr: "10.0.1.1", Router: 2, AS: 20},
+			{Addr: "10.0.1.2", Router: 3, AS: 20},
+			{Addr: "10.0.2.1", Router: 4, AS: 30},
+		},
+	}
+}
+
+func TestPathLinks(t *testing.T) {
+	p := samplePath()
+	links := p.Links()
+	if len(links) != 3 {
+		t.Fatalf("links = %d, want 3", len(links))
+	}
+	if links[0] != [2]topology.RouterID{1, 2} || links[2] != [2]topology.RouterID{3, 4} {
+		t.Fatalf("links = %v", links)
+	}
+	if (&Path{Hops: p.Hops[:1]}).Links() != nil {
+		t.Fatal("single-hop path has no links")
+	}
+}
+
+func TestPathString(t *testing.T) {
+	p := samplePath()
+	s := p.String()
+	if !strings.Contains(s, "10.0.0.1 -> 10.0.1.1") {
+		t.Fatalf("String = %q", s)
+	}
+	p.OK = false
+	if !strings.Contains(p.String(), "!unreachable") {
+		t.Fatal("failed path must be marked unreachable")
+	}
+}
+
+func meshOf(t *testing.T) *Mesh {
+	t.Helper()
+	m := NewMesh([]topology.RouterID{1, 4})
+	m.Paths[0][1] = samplePath()
+	rev := samplePath()
+	rev.Src, rev.Dst = 4, 1
+	for i, j := 0, len(rev.Hops)-1; i < j; i, j = i+1, j-1 {
+		rev.Hops[i], rev.Hops[j] = rev.Hops[j], rev.Hops[i]
+	}
+	m.Paths[1][0] = rev
+	return m
+}
+
+func TestReachabilityAndAnyFailed(t *testing.T) {
+	m := meshOf(t)
+	r := m.Reachability()
+	if !r[0][0] || !r[0][1] || !r[1][0] {
+		t.Fatalf("reachability = %v", r)
+	}
+	if m.AnyFailed() {
+		t.Fatal("healthy mesh reports failure")
+	}
+	m.Paths[0][1].OK = false
+	r = m.Reachability()
+	if r[0][1] || !r[1][0] {
+		t.Fatalf("reachability after failure = %v", r)
+	}
+	if !m.AnyFailed() {
+		t.Fatal("AnyFailed missed the broken pair")
+	}
+}
+
+func TestMaskPreservesSensorsAndGroundTruth(t *testing.T) {
+	m := meshOf(t)
+	masked := m.Mask(map[topology.ASN]bool{20: true})
+	p := masked.Paths[0][1]
+	if p.Hops[0].Unidentified || p.Hops[3].Unidentified {
+		t.Fatal("sensor endpoints must never be masked")
+	}
+	if !p.Hops[1].Unidentified || !p.Hops[2].Unidentified {
+		t.Fatal("AS 20 hops must be masked")
+	}
+	// Ground truth (Router, AS) stays for evaluation.
+	if p.Hops[1].Router != 2 || p.Hops[1].AS != 20 {
+		t.Fatal("mask must keep ground-truth fields")
+	}
+	if p.Hops[1].Addr != "*" {
+		t.Fatalf("masked addr = %q", p.Hops[1].Addr)
+	}
+	// Masking the sensor's own AS does nothing to the endpoints.
+	m2 := m.Mask(map[topology.ASN]bool{10: true, 30: true})
+	if m2.Paths[0][1].Hops[0].Unidentified {
+		t.Fatal("source sensor masked")
+	}
+}
+
+func TestCoveredASes(t *testing.T) {
+	m := meshOf(t)
+	cov := m.CoveredASes()
+	for _, as := range []topology.ASN{10, 20, 30} {
+		if !cov[as] {
+			t.Fatalf("AS %d missing from covered set %v", as, cov)
+		}
+	}
+	if len(cov) != 3 {
+		t.Fatalf("covered = %v", cov)
+	}
+}
+
+func TestMaskNilPaths(t *testing.T) {
+	m := NewMesh([]topology.RouterID{1, 2})
+	// Only one direction measured.
+	m.Paths[0][1] = samplePath()
+	masked := m.Mask(map[topology.ASN]bool{20: true})
+	if masked.Paths[1][0] != nil {
+		t.Fatal("nil path must stay nil")
+	}
+	if masked.Paths[0][1] == nil {
+		t.Fatal("measured path lost")
+	}
+}

@@ -1,0 +1,276 @@
+// Package scenario defines the JSON interchange formats of the command
+// line tools: measurement scenarios for cmd/netdiagnoser and topology dumps
+// for cmd/topogen. The formats are plain and stable so external tooling
+// (or a real sensor overlay) can produce them.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"netdiag/internal/core"
+	"netdiag/internal/topology"
+)
+
+// Hop is one traceroute hop: an address (use "*" for unidentified hops)
+// and, when identified, the AS number.
+type Hop struct {
+	Addr string       `json:"addr"`
+	AS   topology.ASN `json:"as,omitempty"`
+}
+
+// Path is one traceroute.
+type Path struct {
+	Src  int   `json:"src"`
+	Dst  int   `json:"dst"`
+	OK   bool  `json:"ok"`
+	Hops []Hop `json:"hops"`
+}
+
+// Withdrawal mirrors core.Withdrawal in JSON form.
+type Withdrawal struct {
+	At         string `json:"at"`
+	From       string `json:"from"`
+	DstSensors []int  `json:"dst_sensors"`
+}
+
+// Routing carries the optional control-plane observations.
+type Routing struct {
+	ASX          topology.ASN `json:"asx"`
+	IGPDownLinks [][2]string  `json:"igp_down_links,omitempty"`
+	Withdrawals  []Withdrawal `json:"withdrawals,omitempty"`
+}
+
+// Scenario is a full diagnosis input.
+type Scenario struct {
+	Sensors int      `json:"sensors"`
+	Before  []Path   `json:"before"`
+	After   []Path   `json:"after"`
+	Routing *Routing `json:"routing,omitempty"`
+	// LookingGlasses holds scripted Looking Glass answers for nd-lg:
+	// AS -> destination sensor index -> AS path. ASes present as keys
+	// are considered available.
+	LookingGlasses map[topology.ASN]map[int][]topology.ASN `json:"looking_glasses,omitempty"`
+}
+
+// LGTable adapts the scenario's scripted Looking Glass data to the
+// diagnosis interface.
+type LGTable struct {
+	table map[topology.ASN]map[int][]topology.ASN
+}
+
+// Available reports whether the AS has scripted answers.
+func (t *LGTable) Available(as topology.ASN) bool {
+	_, ok := t.table[as]
+	return ok
+}
+
+// ASPath returns the scripted AS path.
+func (t *LGTable) ASPath(from topology.ASN, dstSensor int) ([]topology.ASN, bool) {
+	p, ok := t.table[from][dstSensor]
+	return p, ok
+}
+
+// LG returns the scenario's Looking Glass oracle, or nil if the scenario
+// carries no Looking Glass data.
+func (s *Scenario) LG() core.LookingGlass {
+	if len(s.LookingGlasses) == 0 {
+		return nil
+	}
+	return &LGTable{table: s.LookingGlasses}
+}
+
+// Read decodes a scenario from JSON.
+func Read(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// Write encodes a scenario as indented JSON.
+func (s *Scenario) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Measurements converts the scenario into diagnosis input. Unidentified
+// hops ("*") get unique placeholder names.
+func (s *Scenario) Measurements() (*core.Measurements, error) {
+	m := &core.Measurements{NumSensors: s.Sensors}
+	uh := 0
+	conv := func(paths []Path) []*core.TracePath {
+		var out []*core.TracePath
+		for _, p := range paths {
+			tp := &core.TracePath{SrcSensor: p.Src, DstSensor: p.Dst, OK: p.OK}
+			for _, h := range p.Hops {
+				if h.Addr == "*" {
+					uh++
+					tp.Hops = append(tp.Hops, core.Hop{
+						Node:         core.Node(fmt.Sprintf("*uh%d", uh)),
+						Unidentified: true,
+					})
+					continue
+				}
+				tp.Hops = append(tp.Hops, core.Hop{Node: core.Node(h.Addr), AS: h.AS})
+			}
+			out = append(out, tp)
+		}
+		return out
+	}
+	m.Before = conv(s.Before)
+	m.After = conv(s.After)
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FromMeasurements converts diagnosis-space measurements (and optional
+// routing observations) back into the JSON scenario form, so simulated
+// trials can be exported for the netdiagnoser CLI or external tooling.
+// Unidentified hops become "*".
+func FromMeasurements(m *core.Measurements, ri *core.RoutingInfo) *Scenario {
+	s := &Scenario{Sensors: m.NumSensors}
+	conv := func(paths []*core.TracePath) []Path {
+		var out []Path
+		for _, p := range paths {
+			sp := Path{Src: p.SrcSensor, Dst: p.DstSensor, OK: p.OK}
+			for _, h := range p.Hops {
+				if h.Unidentified {
+					sp.Hops = append(sp.Hops, Hop{Addr: "*"})
+					continue
+				}
+				sp.Hops = append(sp.Hops, Hop{Addr: string(h.Node), AS: h.AS})
+			}
+			out = append(out, sp)
+		}
+		return out
+	}
+	s.Before = conv(m.Before)
+	s.After = conv(m.After)
+	if ri != nil {
+		r := &Routing{ASX: ri.ASX}
+		for _, l := range ri.IGPDownLinks {
+			r.IGPDownLinks = append(r.IGPDownLinks, [2]string{string(l.From), string(l.To)})
+		}
+		for _, w := range ri.Withdrawals {
+			r.Withdrawals = append(r.Withdrawals, Withdrawal{
+				At: string(w.At), From: string(w.From), DstSensors: w.DstSensors,
+			})
+		}
+		s.Routing = r
+	}
+	return s
+}
+
+// RoutingInfo converts the optional routing section.
+func (s *Scenario) RoutingInfo() *core.RoutingInfo {
+	if s.Routing == nil {
+		return nil
+	}
+	ri := &core.RoutingInfo{ASX: s.Routing.ASX}
+	for _, l := range s.Routing.IGPDownLinks {
+		ri.IGPDownLinks = append(ri.IGPDownLinks, core.Link{
+			From: core.Node(l[0]), To: core.Node(l[1]),
+		})
+	}
+	for _, w := range s.Routing.Withdrawals {
+		ri.Withdrawals = append(ri.Withdrawals, core.Withdrawal{
+			At: core.Node(w.At), From: core.Node(w.From), DstSensors: w.DstSensors,
+		})
+	}
+	return ri
+}
+
+// TopoDump is the JSON form of a topology (cmd/topogen output).
+type TopoDump struct {
+	ASes          []TopoAS     `json:"ases"`
+	Routers       []TopoRouter `json:"routers"`
+	Links         []TopoLink   `json:"links"`
+	Relationships []TopoRel    `json:"relationships"`
+}
+
+// TopoAS describes one AS of a dump.
+type TopoAS struct {
+	ASN  topology.ASN `json:"asn"`
+	Kind string       `json:"kind"`
+	Name string       `json:"name"`
+}
+
+// TopoRouter describes one router of a dump.
+type TopoRouter struct {
+	ID   topology.RouterID `json:"id"`
+	AS   topology.ASN      `json:"as"`
+	Name string            `json:"name"`
+	Addr string            `json:"addr"`
+}
+
+// TopoLink describes one physical link of a dump.
+type TopoLink struct {
+	A    topology.RouterID `json:"a"`
+	B    topology.RouterID `json:"b"`
+	Cost int               `json:"cost"`
+	Kind string            `json:"kind"`
+}
+
+// TopoRel describes one AS relationship (a's view of b).
+type TopoRel struct {
+	A   topology.ASN `json:"a"`
+	B   topology.ASN `json:"b"`
+	Rel string       `json:"rel"`
+}
+
+// DumpTopology converts a topology into its JSON form.
+func DumpTopology(t *topology.Topology) *TopoDump {
+	d := &TopoDump{}
+	for _, asn := range t.ASNumbers() {
+		as := t.AS(asn)
+		d.ASes = append(d.ASes, TopoAS{ASN: asn, Kind: as.Kind.String(), Name: as.Name})
+	}
+	for i := 0; i < t.NumRouters(); i++ {
+		r := t.Router(topology.RouterID(i))
+		d.Routers = append(d.Routers, TopoRouter{ID: r.ID, AS: r.AS, Name: r.Name, Addr: r.Addr})
+	}
+	for _, l := range t.Links() {
+		d.Links = append(d.Links, TopoLink{A: l.A, B: l.B, Cost: l.Cost, Kind: l.Kind.String()})
+	}
+	for _, a := range t.ASNumbers() {
+		for _, b := range t.Neighbors(a) {
+			if a < b {
+				d.Relationships = append(d.Relationships, TopoRel{A: a, B: b, Rel: t.Rel(a, b).String()})
+			}
+		}
+	}
+	return d
+}
+
+// WriteDOT renders the topology in Graphviz DOT format, clustering routers
+// by AS.
+func WriteDOT(w io.Writer, t *topology.Topology) error {
+	if _, err := fmt.Fprintln(w, "graph netdiag {"); err != nil {
+		return err
+	}
+	for _, asn := range t.ASNumbers() {
+		as := t.AS(asn)
+		fmt.Fprintf(w, "  subgraph cluster_as%d {\n    label=%q;\n", asn, as.Name)
+		for _, r := range as.Routers {
+			fmt.Fprintf(w, "    r%d [label=%q];\n", r, t.Router(r).Name)
+		}
+		fmt.Fprintln(w, "  }")
+	}
+	for _, l := range t.Links() {
+		style := ""
+		if l.Kind == topology.Inter {
+			style = " [style=dashed]"
+		}
+		fmt.Fprintf(w, "  r%d -- r%d%s;\n", l.A, l.B, style)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,140 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder constructs a Topology incrementally. It assigns IDs and addresses
+// and enforces relationship symmetry. The zero value is not usable; call
+// NewBuilder.
+type Builder struct {
+	t      *Topology
+	nextAS map[ASN]int // per-AS router counter for naming/addressing
+	asSeq  map[ASN]int // sequential AS index used for valid IPv4 octets
+}
+
+// NewBuilder returns an empty topology builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		t: &Topology{
+			ases:   map[ASN]*AS{},
+			rels:   map[asnPair]Rel{},
+			byAddr: map[string]RouterID{},
+		},
+		nextAS: map[ASN]int{},
+		asSeq:  map[ASN]int{},
+	}
+}
+
+// AddAS declares an AS. It panics if the AS already exists.
+func (b *Builder) AddAS(n ASN, kind ASKind, name string) {
+	if _, ok := b.t.ases[n]; ok {
+		panic(fmt.Sprintf("topology: AS%d declared twice", n))
+	}
+	if name == "" {
+		name = fmt.Sprintf("AS%d", n)
+	}
+	b.asSeq[n] = len(b.asSeq)
+	b.t.ases[n] = &AS{Num: n, Kind: kind, Name: name}
+}
+
+// AddRouter adds a router to an existing AS and returns its ID. The router
+// gets a deterministic name ("AS7.r3") and address derived from the IDs.
+func (b *Builder) AddRouter(as ASN, name string) RouterID {
+	a, ok := b.t.ases[as]
+	if !ok {
+		panic(fmt.Sprintf("topology: AddRouter for undeclared AS%d", as))
+	}
+	idx := b.nextAS[as]
+	b.nextAS[as] = idx + 1
+	if name == "" {
+		name = fmt.Sprintf("%s.r%d", a.Name, idx)
+	}
+	id := RouterID(len(b.t.routers))
+	r := &Router{ID: id, AS: as, Name: name, Addr: addrFor(b.asSeq[as], idx)}
+	b.t.routers = append(b.t.routers, r)
+	a.Routers = append(a.Routers, id)
+	b.t.byAddr[r.Addr] = id
+	return id
+}
+
+// addrFor derives a unique IPv4-shaped address for router idx of the
+// seq-th declared AS. Addresses are purely synthetic but stay within valid
+// octet ranges so traceroute output reads naturally.
+func addrFor(seq, idx int) string {
+	return fmt.Sprintf("10.%d.%d.%d", (seq>>8)&255, seq&255, idx+1)
+}
+
+// Connect adds an intra-AS link with the given IGP cost between two routers
+// of the same AS and returns its ID.
+func (b *Builder) Connect(a, c RouterID, cost int) LinkID {
+	if b.t.routers[a].AS != b.t.routers[c].AS {
+		panic("topology: Connect requires routers in the same AS; use Interconnect")
+	}
+	return b.addLink(a, c, cost, Intra)
+}
+
+// Interconnect adds an inter-AS link between border routers a (in AS A) and
+// c (in AS C) and records the relationship: rel is A's view of C (Customer
+// means C is A's customer). The symmetric relationship is derived.
+func (b *Builder) Interconnect(a, c RouterID, rel Rel) LinkID {
+	asA, asC := b.t.routers[a].AS, b.t.routers[c].AS
+	if asA == asC {
+		panic("topology: Interconnect requires routers in different ASes; use Connect")
+	}
+	b.setRel(asA, asC, rel)
+	return b.addLink(a, c, 1, Inter)
+}
+
+func (b *Builder) setRel(a, c ASN, rel Rel) {
+	inv := Peer
+	switch rel {
+	case Customer:
+		inv = Provider
+	case Provider:
+		inv = Customer
+	case Peer:
+		inv = Peer
+	default:
+		panic("topology: relationship must be Customer, Peer or Provider")
+	}
+	if prev, ok := b.t.rels[asnPair{a, c}]; ok && prev != rel {
+		panic(fmt.Sprintf("topology: conflicting relationship AS%d->AS%d: %v then %v", a, c, prev, rel))
+	}
+	b.t.rels[asnPair{a, c}] = rel
+	b.t.rels[asnPair{c, a}] = inv
+}
+
+func (b *Builder) addLink(a, c RouterID, cost int, kind LinkKind) LinkID {
+	id := LinkID(len(b.t.links))
+	l := &PhysLink{ID: id, A: a, B: c, Cost: cost, Kind: kind}
+	b.t.links = append(b.t.links, l)
+	b.t.routers[a].Links = append(b.t.routers[a].Links, id)
+	b.t.routers[c].Links = append(b.t.routers[c].Links, id)
+	return id
+}
+
+// Build finalizes and validates the topology.
+func (b *Builder) Build() (*Topology, error) {
+	t := b.t
+	t.asList = t.asList[:0]
+	for n := range t.ases {
+		t.asList = append(t.asList, n)
+	}
+	sort.Slice(t.asList, func(i, j int) bool { return t.asList[i] < t.asList[j] })
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build, panicking on error. Intended for embedded topologies
+// and tests where failure indicates a programming bug.
+func (b *Builder) MustBuild() *Topology {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

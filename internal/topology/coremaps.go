@@ -1,0 +1,129 @@
+package topology
+
+// This file embeds stylized router-level maps of the three core research
+// networks the paper uses (Abilene, GEANT, WIDE). The paper took the exact
+// maps from IS-IS traces and published topology pages; we embed close
+// approximations with the published PoP counts and mesh structure — the
+// diagnosis algorithms only see the traceroute-inferred subgraph, so the
+// precise internal wiring only shapes path diversity (see DESIGN.md).
+
+// coreMap describes one embedded core network: node names and an edge list
+// (by node index) with IGP costs.
+type coreMap struct {
+	name  string
+	nodes []string
+	edges []coreEdge
+}
+
+type coreEdge struct {
+	a, b int
+	cost int
+}
+
+// abileneMap is the 11-PoP Abilene (Internet2) backbone, circa 2007.
+var abileneMap = coreMap{
+	name: "Abilene",
+	nodes: []string{
+		"SEA", "SNV", "LA", "DEN", "KC", "HOU",
+		"IND", "ATL", "CHI", "WAS", "NY",
+	},
+	edges: []coreEdge{
+		{0, 1, 10}, // SEA-SNV
+		{0, 3, 20}, // SEA-DEN
+		{1, 2, 5},  // SNV-LA
+		{1, 3, 15}, // SNV-DEN
+		{2, 5, 25}, // LA-HOU
+		{3, 4, 10}, // DEN-KC
+		{4, 5, 12}, // KC-HOU
+		{4, 6, 10}, // KC-IND
+		{5, 7, 18}, // HOU-ATL
+		{6, 7, 8},  // IND-ATL
+		{6, 8, 5},  // IND-CHI
+		{7, 9, 10}, // ATL-WAS
+		{8, 10, 8}, // CHI-NY
+		{9, 10, 4}, // WAS-NY
+	},
+}
+
+// geantMap is a 22-PoP stylization of the GEANT pan-European backbone:
+// a well-connected western core with eastern and peripheral spurs.
+var geantMap = coreMap{
+	name: "GEANT",
+	nodes: []string{
+		"UK", "FR", "DE", "NL", "BE", "CH", "IT", "ES", "AT", "CZ", "PL",
+		"HU", "SK", "SI", "HR", "GR", "PT", "IE", "SE", "DK", "RO", "BG",
+	},
+	edges: []coreEdge{
+		{0, 1, 5},   // UK-FR
+		{0, 3, 4},   // UK-NL
+		{0, 17, 6},  // UK-IE
+		{0, 18, 12}, // UK-SE
+		{1, 2, 6},   // FR-DE
+		{1, 5, 5},   // FR-CH
+		{1, 7, 8},   // FR-ES
+		{1, 4, 3},   // FR-BE
+		{2, 3, 4},   // DE-NL
+		{2, 5, 5},   // DE-CH
+		{2, 8, 5},   // DE-AT
+		{2, 9, 4},   // DE-CZ
+		{2, 10, 6},  // DE-PL
+		{2, 19, 5},  // DE-DK
+		{3, 4, 2},   // NL-BE
+		{5, 6, 6},   // CH-IT
+		{6, 8, 5},   // IT-AT
+		{6, 15, 10}, // IT-GR
+		{7, 16, 4},  // ES-PT
+		{8, 11, 4},  // AT-HU
+		{8, 13, 3},  // AT-SI
+		{9, 12, 3},  // CZ-SK
+		{10, 12, 4}, // PL-SK
+		{11, 14, 4}, // HU-HR
+		{11, 20, 6}, // HU-RO
+		{13, 14, 2}, // SI-HR
+		{15, 21, 5}, // GR-BG
+		{18, 19, 4}, // SE-DK
+		{20, 21, 4}, // RO-BG
+	},
+}
+
+// wideMap is a 14-node stylization of the WIDE (Japan) backbone: Tokyo-area
+// core with regional spurs and a trans-Pacific arc.
+var wideMap = coreMap{
+	name: "WIDE",
+	nodes: []string{
+		"Tokyo1", "Tokyo2", "Osaka", "Kyoto", "Nara", "Fukuoka",
+		"Sendai", "Sapporo", "Nagoya", "Hiroshima", "Okinawa",
+		"Yokohama", "Komatsu", "LA-US",
+	},
+	edges: []coreEdge{
+		{0, 1, 1},    // Tokyo1-Tokyo2
+		{0, 11, 2},   // Tokyo1-Yokohama
+		{0, 6, 8},    // Tokyo1-Sendai
+		{0, 8, 6},    // Tokyo1-Nagoya
+		{1, 2, 10},   // Tokyo2-Osaka
+		{1, 13, 50},  // Tokyo2-LA (trans-Pacific)
+		{2, 3, 2},    // Osaka-Kyoto
+		{2, 9, 6},    // Osaka-Hiroshima
+		{2, 8, 4},    // Osaka-Nagoya
+		{3, 4, 1},    // Kyoto-Nara
+		{5, 9, 5},    // Fukuoka-Hiroshima
+		{5, 10, 12},  // Fukuoka-Okinawa
+		{6, 7, 8},    // Sendai-Sapporo
+		{8, 12, 5},   // Nagoya-Komatsu
+		{11, 13, 50}, // Yokohama-LA (second trans-Pacific)
+	},
+}
+
+// buildCoreAS adds a core AS from a map to the builder and returns the
+// router IDs in node order.
+func buildCoreAS(b *Builder, n ASN, m coreMap) []RouterID {
+	b.AddAS(n, Core, m.name)
+	ids := make([]RouterID, len(m.nodes))
+	for i, name := range m.nodes {
+		ids[i] = b.AddRouter(n, m.name+"."+name)
+	}
+	for _, e := range m.edges {
+		b.Connect(ids[e.a], ids[e.b], e.cost)
+	}
+	return ids
+}

@@ -1,0 +1,138 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func expectPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		if msg, ok := r.(string); ok && !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not mention %q", msg, substr)
+		}
+	}()
+	fn()
+}
+
+func TestBuilderMisusePanics(t *testing.T) {
+	b := NewBuilder()
+	b.AddAS(1, Stub, "")
+	expectPanic(t, "declared twice", func() { b.AddAS(1, Stub, "") })
+	expectPanic(t, "undeclared", func() { b.AddRouter(99, "") })
+
+	b.AddAS(2, Stub, "")
+	r1 := b.AddRouter(1, "")
+	r2 := b.AddRouter(2, "")
+	expectPanic(t, "same AS", func() { b.Connect(r1, r2, 1) })
+
+	r1b := b.AddRouter(1, "")
+	expectPanic(t, "different ASes", func() { b.Interconnect(r1, r1b, Customer) })
+	expectPanic(t, "relationship must be", func() { b.Interconnect(r1, r2, None) })
+
+	// Conflicting relationship between the same AS pair.
+	b2 := NewBuilder()
+	b2.AddAS(1, Stub, "")
+	b2.AddAS(2, Stub, "")
+	a := b2.AddRouter(1, "")
+	c := b2.AddRouter(2, "")
+	b2.Interconnect(a, c, Customer)
+	d := b2.AddRouter(1, "")
+	e := b2.AddRouter(2, "")
+	expectPanic(t, "conflicting relationship", func() { b2.Interconnect(d, e, Peer) })
+}
+
+func TestValidateCatchesDisconnectedAS(t *testing.T) {
+	b := NewBuilder()
+	b.AddAS(1, Tier2, "")
+	b.AddRouter(1, "")
+	b.AddRouter(1, "") // two routers, no intra link
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "not connected") {
+		t.Fatalf("Build should reject a disconnected AS, got %v", err)
+	}
+}
+
+func TestValidateCatchesNonPositiveCost(t *testing.T) {
+	b := NewBuilder()
+	b.AddAS(1, Tier2, "")
+	r1 := b.AddRouter(1, "")
+	r2 := b.AddRouter(1, "")
+	b.Connect(r1, r2, 0)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "cost") {
+		t.Fatalf("Build should reject zero cost, got %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Core.String() != "core" || Tier2.String() != "tier2" || Stub.String() != "stub" {
+		t.Fatal("ASKind strings")
+	}
+	if Intra.String() != "intra" || Inter.String() != "inter" {
+		t.Fatal("LinkKind strings")
+	}
+	for rel, want := range map[Rel]string{
+		Customer: "customer", Peer: "peer", Provider: "provider", None: "none",
+	} {
+		if rel.String() != want {
+			t.Fatalf("Rel(%d).String() = %q", rel, rel.String())
+		}
+	}
+	if got := ASKind(42).String(); !strings.Contains(got, "42") {
+		t.Fatalf("unknown kind should embed the value, got %q", got)
+	}
+}
+
+func TestMustBuildPanicsOnInvalid(t *testing.T) {
+	b := NewBuilder()
+	b.AddAS(1, Tier2, "")
+	b.AddRouter(1, "")
+	b.AddRouter(1, "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild should panic on invalid topology")
+		}
+	}()
+	b.MustBuild()
+}
+
+func TestGenerateResearchRejectsBadConfig(t *testing.T) {
+	cfg := DefaultResearchConfig(1)
+	cfg.Tier2Routers = 1
+	if _, err := GenerateResearch(cfg); err == nil {
+		t.Fatal("Tier2Routers < 2 must be rejected")
+	}
+	cfg = DefaultResearchConfig(1)
+	cfg.NumTier2 = 0
+	if _, err := GenerateResearch(cfg); err == nil {
+		t.Fatal("zero tier-2 count must be rejected")
+	}
+}
+
+func TestDualHubVariant(t *testing.T) {
+	cfg := DefaultResearchConfig(33)
+	cfg.DualHubTier2 = true
+	res, err := GenerateResearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tier-2 AS must have spokes wired to both hubs.
+	for _, n := range res.Tier2 {
+		routers := res.Topo.AS(n).Routers
+		hub0, hub1 := routers[0], routers[1]
+		if _, ok := res.Topo.LinkBetween(hub0, hub1); !ok {
+			t.Fatalf("AS%d hubs not connected", n)
+		}
+		for _, spoke := range routers[2:] {
+			if _, ok := res.Topo.LinkBetween(hub0, spoke); !ok {
+				t.Fatalf("AS%d spoke %d missing hub0 link", n, spoke)
+			}
+			if _, ok := res.Topo.LinkBetween(hub1, spoke); !ok {
+				t.Fatalf("AS%d spoke %d missing hub1 link", n, spoke)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package topology
+
+// This file builds the paper's two illustrative topologies (Figures 1 and 2)
+// for use in tests, examples and documentation.
+
+// Fig1 is the single-AS tree topology of the paper's Figure 1: sensors s1,
+// s2, s3 connected through routers r1..r11. The failure of r9-r11 breaks
+// s1->s2 while s1->s3 keeps working, and Boolean tomography on the tree can
+// only narrow the failure to the chain r6-r7, r7-r9, r9-r11, r11-s2.
+type Fig1 struct {
+	Topo       *Topology
+	S1, S2, S3 RouterID
+	R          map[string]RouterID // "r1".."r11"
+}
+
+// BuildFig1 constructs the Figure 1 topology. Sensors are modeled as
+// routers of the same (single) AS.
+func BuildFig1() *Fig1 {
+	b := NewBuilder()
+	b.AddAS(1, Core, "AS1")
+	r := map[string]RouterID{}
+	for _, name := range []string{"r1", "r3", "r6", "r7", "r8", "r9", "r10", "r11"} {
+		r[name] = b.AddRouter(1, name)
+	}
+	s1 := b.AddRouter(1, "s1")
+	s2 := b.AddRouter(1, "s2")
+	s3 := b.AddRouter(1, "s3")
+	// Shared trunk s1-r1-r3-r6, then branch r6-r7-r9-r11-s2 and
+	// branch r6-r8-r10-s3.
+	b.Connect(s1, r["r1"], 1)
+	b.Connect(r["r1"], r["r3"], 1)
+	b.Connect(r["r3"], r["r6"], 1)
+	b.Connect(r["r6"], r["r7"], 1)
+	b.Connect(r["r7"], r["r9"], 1)
+	b.Connect(r["r9"], r["r11"], 1)
+	b.Connect(r["r11"], s2, 1)
+	b.Connect(r["r6"], r["r8"], 1)
+	b.Connect(r["r8"], r["r10"], 1)
+	b.Connect(r["r10"], s3, 1)
+	return &Fig1{Topo: b.MustBuild(), S1: s1, S2: s2, S3: s3, R: r}
+}
+
+// Fig2 is the paper's Figure 2 multi-AS example: stub ASes A, B, C hosting
+// sensors s1, s2, s3; transit ASes X (the troubleshooter) and Y. The
+// forward path s1->s2 is s1,a1,a2,x1,x2,y1,y4,b1,b2,s2 and s1->s3 is
+// s1,a1,a2,x1,x2,y1,y2,y3,c1,c2,s3, matching the hypothesis sets quoted in
+// the paper's §3.3 example.
+type Fig2 struct {
+	Topo       *Topology
+	ASA        ASN
+	ASB        ASN
+	ASC        ASN
+	ASX        ASN
+	ASY        ASN
+	S1, S2, S3 RouterID
+	R          map[string]RouterID // a1,a2,x1,x2,y1..y4,b1,b2,c1,c2
+}
+
+// BuildFig2 constructs the Figure 2 topology with Gao–Rexford
+// relationships: A is X's customer; X and Y peer; B and C are Y's customers.
+func BuildFig2() *Fig2 {
+	b := NewBuilder()
+	const (
+		aA ASN = 65001
+		aB ASN = 65002
+		aC ASN = 65003
+		aX ASN = 65010
+		aY ASN = 65020
+	)
+	b.AddAS(aA, Stub, "AS-A")
+	b.AddAS(aB, Stub, "AS-B")
+	b.AddAS(aC, Stub, "AS-C")
+	b.AddAS(aX, Tier2, "AS-X")
+	b.AddAS(aY, Tier2, "AS-Y")
+
+	r := map[string]RouterID{}
+	add := func(as ASN, names ...string) {
+		for _, n := range names {
+			r[n] = b.AddRouter(as, n)
+		}
+	}
+	add(aA, "s1", "a1", "a2")
+	add(aB, "b1", "b2", "s2")
+	add(aC, "c1", "c2", "s3")
+	add(aX, "x1", "x2")
+	add(aY, "y1", "y2", "y3", "y4")
+
+	// Intra-AS links.
+	b.Connect(r["s1"], r["a1"], 1)
+	b.Connect(r["a1"], r["a2"], 1)
+	b.Connect(r["b1"], r["b2"], 1)
+	b.Connect(r["b2"], r["s2"], 1)
+	b.Connect(r["c1"], r["c2"], 1)
+	b.Connect(r["c2"], r["s3"], 1)
+	b.Connect(r["x1"], r["x2"], 1)
+	b.Connect(r["y1"], r["y2"], 1)
+	b.Connect(r["y2"], r["y3"], 1)
+	b.Connect(r["y1"], r["y4"], 1)
+	b.Connect(r["y3"], r["y4"], 2) // y4->y3 goes direct; y1->y3 still prefers y2
+
+	// Inter-AS links. Interconnect(a, c, rel): rel is a's view of c.
+	b.Interconnect(r["x1"], r["a2"], Customer) // A is X's customer
+	b.Interconnect(r["x2"], r["y1"], Peer)     // X-Y peering
+	b.Interconnect(r["y4"], r["b1"], Customer) // B is Y's customer
+	b.Interconnect(r["y3"], r["c1"], Customer) // C is Y's customer
+
+	return &Fig2{
+		Topo: b.MustBuild(),
+		ASA:  aA, ASB: aB, ASC: aC, ASX: aX, ASY: aY,
+		S1: r["s1"], S2: r["s2"], S3: r["s3"], R: r,
+	}
+}

@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ResearchConfig parameterizes the paper's evaluation topology ("research
+// part of the Internet", §4): three core ASes in full mesh, tier-2 ASes with
+// hub-and-spoke internals, and single-router stub ASes.
+type ResearchConfig struct {
+	// NumTier2 is the number of tier-2 ASes (paper: 22).
+	NumTier2 int
+	// NumStubs is the number of stub ASes (paper: 140).
+	NumStubs int
+	// Tier2Routers is the router count per tier-2 AS (paper: 12,
+	// hub-and-spoke).
+	Tier2Routers int
+	// Tier2MultihomedFrac is the fraction of tier-2 ASes homed to two
+	// cores (paper: 0.5).
+	Tier2MultihomedFrac float64
+	// StubMultihomedFrac is the fraction of stubs homed to two providers
+	// (paper: 0.25).
+	StubMultihomedFrac float64
+	// StubsOnCoreFrac is the fraction of stubs whose (first) provider is a
+	// core AS rather than a tier-2; the paper's BFS from the cores keeps
+	// some stubs directly below the cores.
+	StubsOnCoreFrac float64
+	// DualHubTier2 gives each tier-2 AS two hubs with every spoke homed to
+	// both at equal cost — a common PoP design that introduces equal-cost
+	// multipath, used by the Paris-traceroute study. The paper's topology
+	// (the default) uses a single hub.
+	DualHubTier2 bool
+	// Seed drives all random choices (interconnection points, homing).
+	Seed int64
+}
+
+// DefaultResearchConfig returns the paper's published topology parameters.
+func DefaultResearchConfig(seed int64) ResearchConfig {
+	return ResearchConfig{
+		NumTier2:            22,
+		NumStubs:            140,
+		Tier2Routers:        12,
+		Tier2MultihomedFrac: 0.5,
+		StubMultihomedFrac:  0.25,
+		StubsOnCoreFrac:     0.15,
+		Seed:                seed,
+	}
+}
+
+// Research holds a generated research-Internet topology along with the role
+// of each AS, so experiments can place sensors and pick AS-X by role.
+type Research struct {
+	Topo  *Topology
+	Cores []ASN
+	Tier2 []ASN
+	Stubs []ASN
+}
+
+// Core AS numbers follow the real networks for readability.
+const (
+	asAbilene ASN = 11537
+	asGEANT   ASN = 20965
+	asWIDE    ASN = 2500
+)
+
+// GenerateResearch builds the multi-AS evaluation topology of the paper:
+// Abilene, GEANT and WIDE as cores in full mesh (peering), cfg.NumTier2
+// tier-2 customer ASes with 12-router hub-and-spoke internals, and
+// cfg.NumStubs single-router stubs. Interconnection points are chosen
+// uniformly at random from the provider's routers, as in the paper.
+func GenerateResearch(cfg ResearchConfig) (*Research, error) {
+	if cfg.NumTier2 <= 0 || cfg.NumStubs < 0 || cfg.Tier2Routers < 2 {
+		return nil, fmt.Errorf("topology: invalid research config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := NewBuilder()
+
+	cores := []ASN{asAbilene, asGEANT, asWIDE}
+	coreRouters := map[ASN][]RouterID{
+		asAbilene: buildCoreAS(b, asAbilene, abileneMap),
+		asGEANT:   buildCoreAS(b, asGEANT, geantMap),
+		asWIDE:    buildCoreAS(b, asWIDE, wideMap),
+	}
+	// Full-mesh peering between the cores. The real interconnection points
+	// are known (paper §4); we use the major exchange PoPs: Abilene
+	// NY/LA, GEANT UK/NL, WIDE Tokyo/LA-US.
+	b.Interconnect(coreRouters[asAbilene][10], coreRouters[asGEANT][0], Peer) // NY-UK
+	b.Interconnect(coreRouters[asAbilene][2], coreRouters[asWIDE][13], Peer)  // LA-LA
+	b.Interconnect(coreRouters[asGEANT][3], coreRouters[asWIDE][13], Peer)    // NL-LA
+
+	res := &Research{Cores: cores}
+
+	// Tier-2 ASes: hub-and-spoke internals, customers of one or two cores.
+	tier2Borders := map[ASN][]RouterID{}
+	for i := 0; i < cfg.NumTier2; i++ {
+		n := ASN(100 + i)
+		b.AddAS(n, Tier2, fmt.Sprintf("T2-%d", i))
+		var routers []RouterID
+		if cfg.DualHubTier2 {
+			routers = buildDualHubSpoke(b, n, cfg.Tier2Routers)
+		} else {
+			routers = buildHubSpoke(b, n, cfg.Tier2Routers)
+		}
+		res.Tier2 = append(res.Tier2, n)
+		tier2Borders[n] = routers
+
+		homes := 1
+		if rng.Float64() < cfg.Tier2MultihomedFrac {
+			homes = 2
+		}
+		perm := rng.Perm(len(cores))
+		for h := 0; h < homes; h++ {
+			core := cores[perm[h]]
+			cp := coreRouters[core][rng.Intn(len(coreRouters[core]))]
+			// Tier-2 side: spokes host the border sessions (the hub is
+			// index 0), mirroring typical hub-and-spoke designs.
+			border := routers[1+rng.Intn(len(routers)-1)]
+			b.Interconnect(cp, border, Customer)
+		}
+	}
+
+	// Stub ASes: single router, customers of tier-2s (mostly) or cores.
+	for i := 0; i < cfg.NumStubs; i++ {
+		n := ASN(1000 + i)
+		b.AddAS(n, Stub, fmt.Sprintf("S%d", i))
+		r := b.AddRouter(n, "")
+		res.Stubs = append(res.Stubs, n)
+
+		homes := 1
+		if rng.Float64() < cfg.StubMultihomedFrac {
+			homes = 2
+		}
+		used := map[ASN]bool{}
+		for h := 0; h < homes; h++ {
+			var provider ASN
+			if rng.Float64() < cfg.StubsOnCoreFrac {
+				provider = cores[rng.Intn(len(cores))]
+			} else {
+				provider = res.Tier2[rng.Intn(len(res.Tier2))]
+			}
+			if used[provider] {
+				continue // rare collision: stay single-homed rather than loop
+			}
+			used[provider] = true
+			var pr RouterID
+			if providerRouters, ok := tier2Borders[provider]; ok {
+				pr = providerRouters[rng.Intn(len(providerRouters))]
+			} else {
+				pr = coreRouters[provider][rng.Intn(len(coreRouters[provider]))]
+			}
+			b.Interconnect(pr, r, Customer)
+		}
+	}
+
+	t, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	res.Topo = t
+	return res, nil
+}
+
+// buildHubSpoke adds an AS with one hub router (index 0) and n-1 spokes,
+// each spoke connected to the hub. This matches the paper's description of
+// tier-2 intradomain topologies.
+func buildHubSpoke(b *Builder, as ASN, n int) []RouterID {
+	routers := make([]RouterID, n)
+	for i := range routers {
+		routers[i] = b.AddRouter(as, "")
+	}
+	for i := 1; i < n; i++ {
+		b.Connect(routers[0], routers[i], 5)
+	}
+	return routers
+}
+
+// buildDualHubSpoke adds an AS with two hubs (indexes 0 and 1) and n-2
+// spokes homed to both hubs at equal cost, creating equal-cost multipath
+// between any two spokes.
+func buildDualHubSpoke(b *Builder, as ASN, n int) []RouterID {
+	routers := make([]RouterID, n)
+	for i := range routers {
+		routers[i] = b.AddRouter(as, "")
+	}
+	b.Connect(routers[0], routers[1], 2)
+	for i := 2; i < n; i++ {
+		b.Connect(routers[0], routers[i], 5)
+		b.Connect(routers[1], routers[i], 5)
+	}
+	return routers
+}

@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	b.AddAS(1, Core, "one")
+	b.AddAS(2, Stub, "two")
+	r1 := b.AddRouter(1, "")
+	r2 := b.AddRouter(1, "")
+	r3 := b.AddRouter(2, "")
+	l1 := b.Connect(r1, r2, 3)
+	l2 := b.Interconnect(r2, r3, Customer)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if topo.NumRouters() != 3 || topo.NumLinks() != 2 {
+		t.Fatalf("got %d routers %d links", topo.NumRouters(), topo.NumLinks())
+	}
+	if topo.Link(l1).Kind != Intra || topo.Link(l2).Kind != Inter {
+		t.Fatal("link kinds wrong")
+	}
+	if topo.Rel(1, 2) != Customer || topo.Rel(2, 1) != Provider {
+		t.Fatalf("relationship wrong: %v %v", topo.Rel(1, 2), topo.Rel(2, 1))
+	}
+	if topo.Rel(1, 99) != None {
+		t.Fatal("unrelated ASes should have Rel None")
+	}
+	if got := topo.Neighbors(1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Neighbors(1) = %v", got)
+	}
+	if _, ok := topo.LinkBetween(r1, r2); !ok {
+		t.Fatal("LinkBetween(r1,r2) missing")
+	}
+	if _, ok := topo.LinkBetween(r1, r3); ok {
+		t.Fatal("LinkBetween(r1,r3) should be absent")
+	}
+}
+
+func TestRouterAddressesUnique(t *testing.T) {
+	res, err := GenerateResearch(DefaultResearchConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]RouterID{}
+	for i := 0; i < res.Topo.NumRouters(); i++ {
+		r := res.Topo.Router(RouterID(i))
+		if prev, dup := seen[r.Addr]; dup {
+			t.Fatalf("address %s assigned to routers %d and %d", r.Addr, prev, r.ID)
+		}
+		seen[r.Addr] = r.ID
+		if got, ok := res.Topo.RouterByAddr(r.Addr); !ok || got.ID != r.ID {
+			t.Fatalf("RouterByAddr(%s) = %v, %v", r.Addr, got, ok)
+		}
+	}
+}
+
+func TestGenerateResearchShape(t *testing.T) {
+	cfg := DefaultResearchConfig(42)
+	res, err := GenerateResearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := res.Topo
+	if got := len(topo.ASNumbers()); got != 165 {
+		t.Fatalf("want 165 ASes, got %d", got)
+	}
+	if len(res.Cores) != 3 || len(res.Tier2) != 22 || len(res.Stubs) != 140 {
+		t.Fatalf("role counts: %d cores %d tier2 %d stubs", len(res.Cores), len(res.Tier2), len(res.Stubs))
+	}
+	for _, n := range res.Tier2 {
+		if got := len(topo.AS(n).Routers); got != cfg.Tier2Routers {
+			t.Fatalf("tier2 AS%d has %d routers, want %d", n, got, cfg.Tier2Routers)
+		}
+	}
+	for _, n := range res.Stubs {
+		if got := len(topo.AS(n).Routers); got != 1 {
+			t.Fatalf("stub AS%d has %d routers, want 1", n, got)
+		}
+		if nbrs := topo.Neighbors(n); len(nbrs) < 1 || len(nbrs) > 2 {
+			t.Fatalf("stub AS%d has %d providers", n, len(nbrs))
+		}
+	}
+	// Cores peer in full mesh.
+	for _, a := range res.Cores {
+		for _, b := range res.Cores {
+			if a != b && topo.Rel(a, b) != Peer {
+				t.Fatalf("cores AS%d-AS%d not peering", a, b)
+			}
+		}
+	}
+	// Multihoming fractions should be in the right ballpark.
+	multi := 0
+	for _, n := range res.Stubs {
+		if len(topo.Neighbors(n)) == 2 {
+			multi++
+		}
+	}
+	if frac := float64(multi) / float64(len(res.Stubs)); frac < 0.10 || frac > 0.40 {
+		t.Fatalf("stub multihoming fraction %.2f outside plausible band around 0.25", frac)
+	}
+}
+
+func TestGenerateResearchDeterministic(t *testing.T) {
+	a, err := GenerateResearch(DefaultResearchConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateResearch(DefaultResearchConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Topo.NumLinks() != b.Topo.NumLinks() {
+		t.Fatalf("same seed, different link counts: %d vs %d", a.Topo.NumLinks(), b.Topo.NumLinks())
+	}
+	for i := 0; i < a.Topo.NumLinks(); i++ {
+		la, lb := a.Topo.Link(LinkID(i)), b.Topo.Link(LinkID(i))
+		if la.A != lb.A || la.B != lb.B || la.Cost != lb.Cost {
+			t.Fatalf("link %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateResearchSeedsValid(t *testing.T) {
+	// Every seed must yield a valid (relationship-consistent, connected
+	// per AS) topology; Validate runs inside Build.
+	f := func(seed int64) bool {
+		res, err := GenerateResearch(DefaultResearchConfig(seed))
+		return err == nil && res.Topo.NumRouters() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	f := BuildFig1()
+	if err := f.Topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Topo.NumRouters() != 11 {
+		t.Fatalf("Fig1 routers = %d", f.Topo.NumRouters())
+	}
+	if f.Topo.NumLinks() != 10 {
+		t.Fatalf("Fig1 links = %d (tree over 11 nodes must have 10)", f.Topo.NumLinks())
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	f := BuildFig2()
+	if err := f.Topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Topo.Rel(f.ASX, f.ASY); got != Peer {
+		t.Fatalf("X-Y relationship = %v, want peer", got)
+	}
+	if got := f.Topo.Rel(f.ASY, f.ASB); got != Customer {
+		t.Fatalf("Y->B relationship = %v, want customer", got)
+	}
+	if got := f.Topo.Rel(f.ASA, f.ASX); got != Provider {
+		t.Fatalf("A->X relationship = %v, want provider", got)
+	}
+}
+
+func TestPhysLinkOtherPanics(t *testing.T) {
+	f := BuildFig1()
+	l := f.Topo.Link(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other with non-endpoint should panic")
+		}
+	}()
+	var bogus RouterID = 10000
+	l.Other(bogus)
+}
+
+func TestIntraLinksAndKinds(t *testing.T) {
+	f := BuildFig2()
+	intra := f.Topo.IntraLinks(f.ASY)
+	if len(intra) != 4 {
+		t.Fatalf("AS-Y intra links = %d, want 4", len(intra))
+	}
+	for _, l := range intra {
+		if l.Kind != Intra {
+			t.Fatalf("IntraLinks returned inter link %d", l.ID)
+		}
+	}
+}
