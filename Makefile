@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Reduced-scale benchmark sweep, including the parallelism comparisons.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The full verify loop: tier-1 (build + test) plus vet and the race
+# detector. Run before every commit.
+verify: build vet test race

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"netdiag/internal/experiment"
+	"netdiag/internal/pool"
 )
 
 type figureFunc func(experiment.Config) (*experiment.Figure, error)
@@ -53,6 +54,7 @@ func main() {
 		seed  = flag.Int64("seed", 2007, "simulation seed")
 		out   = flag.String("out", "results", "directory for CSV output")
 		list  = flag.Bool("list", false, "list available figures and exit")
+		par   = flag.Int("parallelism", 1, "worker count for simulation and trials (0 = GOMAXPROCS); CSV output is identical at any setting")
 	)
 	flag.Parse()
 
@@ -71,8 +73,13 @@ func main() {
 	}
 
 	cfg := experiment.DefaultConfig(*seed).Scaled(*scale)
-	fmt.Printf("ndsim: seed=%d scale=1/%d (%d placements x %d failures per scenario)\n\n",
-		*seed, *scale, cfg.Placements, cfg.FailuresPerPlacement)
+	if *par == 0 {
+		cfg.Parallelism = pool.Size(0)
+	} else {
+		cfg.Parallelism = *par
+	}
+	fmt.Printf("ndsim: seed=%d scale=1/%d (%d placements x %d failures per scenario, %d workers)\n\n",
+		*seed, *scale, cfg.Placements, cfg.FailuresPerPlacement, cfg.Parallelism)
 
 	ran := 0
 	for _, f := range figures {

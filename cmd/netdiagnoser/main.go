@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	netdiagnoser -algo tomo|nd-edge|nd-bgpigp [-json] scenario.json
+//	netdiagnoser -algo tomo|nd-edge|nd-bgpigp [-json] [-parallelism N] [-timeout D] scenario.json
 //
 // The scenario holds the full-mesh traceroutes before and after the
 // failure event, plus optional routing observations (IGP link-downs and
@@ -12,13 +12,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"netdiag/internal/core"
+	"netdiag"
 	"netdiag/internal/scenario"
 )
 
@@ -27,6 +29,8 @@ func main() {
 		algo    = flag.String("algo", "nd-edge", "algorithm: tomo, nd-edge, nd-bgpigp, nd-lg")
 		asJSON  = flag.Bool("json", false, "emit the hypothesis as JSON")
 		verbose = flag.Bool("v", false, "print per-link attribution detail")
+		par     = flag.Int("parallelism", 0, "diagnosis worker count (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "abort the diagnosis after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -47,18 +51,18 @@ func main() {
 		fatal(err)
 	}
 
-	var res *core.Result
+	opts := []netdiag.DiagnoserOption{netdiag.WithParallelism(*par)}
 	switch strings.ToLower(*algo) {
 	case "tomo":
-		res, err = core.Tomo(meas)
+		opts = append(opts, netdiag.WithAlgorithm(netdiag.TomoAlgo))
 	case "nd-edge", "ndedge":
-		res, err = core.NDEdge(meas)
+		opts = append(opts, netdiag.WithAlgorithm(netdiag.NDEdgeAlgo))
 	case "nd-bgpigp", "ndbgpigp":
 		ri := sc.RoutingInfo()
 		if ri == nil {
 			fatal(fmt.Errorf("nd-bgpigp requires a \"routing\" section in the scenario"))
 		}
-		res, err = core.NDBgpIgp(meas, ri)
+		opts = append(opts, netdiag.WithAlgorithm(netdiag.NDBgpIgpAlgo), netdiag.WithRoutingInfo(ri))
 	case "nd-lg", "ndlg":
 		lg := sc.LG()
 		if lg == nil {
@@ -66,13 +70,28 @@ func main() {
 		}
 		ri := sc.RoutingInfo()
 		if ri == nil {
-			ri = &core.RoutingInfo{}
+			ri = &netdiag.RoutingInfo{}
 		}
-		res, err = core.NDLG(meas, ri, lg)
+		opts = append(opts,
+			netdiag.WithAlgorithm(netdiag.NDLGAlgo),
+			netdiag.WithRoutingInfo(ri),
+			netdiag.WithLookingGlass(lg))
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := netdiag.New(opts...).Diagnose(ctx, meas)
 	if err != nil {
+		var verr *netdiag.ValidationError
+		if errors.As(err, &verr) {
+			fatal(fmt.Errorf("invalid scenario measurements: %w", verr))
+		}
 		fatal(err)
 	}
 
@@ -127,8 +146,8 @@ func main() {
 	}
 }
 
-func display(l core.Link) string {
-	return core.Display(l.From) + "->" + core.Display(l.To)
+func display(l netdiag.Link) string {
+	return netdiag.DisplayNode(l.From) + "->" + netdiag.DisplayNode(l.To)
 }
 
 func fatal(err error) {

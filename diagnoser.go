@@ -1,0 +1,158 @@
+package netdiag
+
+import (
+	"context"
+
+	"netdiag/internal/core"
+	"netdiag/internal/netsim"
+	"netdiag/internal/pool"
+)
+
+// Algorithm names one of the paper's diagnosis algorithm variants. The zero
+// value is the Tomo baseline; the ND* constants enable the corresponding
+// sections' features.
+type Algorithm int
+
+const (
+	// TomoAlgo is the multi-AS Boolean tomography baseline (§2).
+	TomoAlgo Algorithm = iota
+	// NDEdgeAlgo adds logical links and reroute information (§3.1–3.2).
+	NDEdgeAlgo
+	// NDBgpIgpAlgo adds AS-X's IGP link-downs and BGP withdrawals (§3.3);
+	// supply them with WithRoutingInfo.
+	NDBgpIgpAlgo
+	// NDLGAlgo adds Looking-Glass handling of traceroute-blocking ASes
+	// (§3.4); supply the oracle with WithLookingGlass.
+	NDLGAlgo
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case TomoAlgo:
+		return "Tomo"
+	case NDEdgeAlgo:
+		return "ND-edge"
+	case NDBgpIgpAlgo:
+		return "ND-bgpigp"
+	case NDLGAlgo:
+		return "ND-LG"
+	}
+	return "Algorithm(?)"
+}
+
+// engineOptions maps the algorithm to the core feature flags.
+func (a Algorithm) engineOptions() Options {
+	switch a {
+	case NDEdgeAlgo, NDBgpIgpAlgo:
+		return Options{LogicalLinks: true, UseReroutes: true}
+	case NDLGAlgo:
+		return Options{LogicalLinks: true, UseReroutes: true, KeepUnidentified: true}
+	}
+	return Options{}
+}
+
+// ValidationError is the typed error returned when a Measurements input is
+// malformed; extract it with errors.As to learn the offending mesh and
+// sensor pair.
+type ValidationError = core.ValidationError
+
+// Diagnoser is a reusable diagnosis session: an algorithm choice plus the
+// session-wide inputs (routing observations, Looking Glass oracle) and the
+// concurrency budget. A Diagnoser is immutable after New and safe for
+// concurrent Diagnose calls.
+type Diagnoser struct {
+	algo   Algorithm
+	custom *Options
+	ri     *RoutingInfo
+	lg     LookingGlass
+	par    int
+}
+
+// DiagnoserOption configures a Diagnoser at construction time.
+type DiagnoserOption func(*Diagnoser)
+
+// WithAlgorithm selects the diagnosis algorithm (default TomoAlgo).
+func WithAlgorithm(a Algorithm) DiagnoserOption {
+	return func(d *Diagnoser) { d.algo = a }
+}
+
+// WithOptions supplies a custom engine configuration instead of an
+// Algorithm preset; WithRoutingInfo, WithLookingGlass and WithParallelism
+// still apply on top of it.
+func WithOptions(o Options) DiagnoserOption {
+	return func(d *Diagnoser) { d.custom = &o }
+}
+
+// WithRoutingInfo supplies AS-X's control-plane observations (§3.3).
+func WithRoutingInfo(ri *RoutingInfo) DiagnoserOption {
+	return func(d *Diagnoser) { d.ri = ri }
+}
+
+// WithLookingGlass supplies the Looking Glass oracle for blocked ASes
+// (§3.4).
+func WithLookingGlass(lg LookingGlass) DiagnoserOption {
+	return func(d *Diagnoser) { d.lg = lg }
+}
+
+// WithParallelism bounds the worker count used inside Diagnose. n <= 0
+// selects runtime.GOMAXPROCS(0), the default; n = 1 reproduces the exact
+// sequential execution. The hypothesis set is identical at any setting.
+func WithParallelism(n int) DiagnoserOption {
+	return func(d *Diagnoser) { d.par = pool.Size(n) }
+}
+
+// New builds a diagnosis session from functional options:
+//
+//	d := netdiag.New(
+//		netdiag.WithAlgorithm(netdiag.NDBgpIgpAlgo),
+//		netdiag.WithRoutingInfo(ri),
+//		netdiag.WithParallelism(4),
+//	)
+//	res, err := d.Diagnose(ctx, meas)
+func New(opts ...DiagnoserOption) *Diagnoser {
+	d := &Diagnoser{algo: TomoAlgo, par: pool.Size(0)}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Algorithm reports the session's algorithm choice.
+func (d *Diagnoser) Algorithm() Algorithm { return d.algo }
+
+// Parallelism reports the session's resolved worker count.
+func (d *Diagnoser) Parallelism() int { return d.par }
+
+// Diagnose validates m and runs the configured algorithm on it. A
+// malformed input yields a *ValidationError; ctx cancellation is honored
+// between pipeline phases and on every greedy iteration and surfaces as
+// ctx.Err(). Safe to call concurrently on the same Diagnoser.
+func (d *Diagnoser) Diagnose(ctx context.Context, m *Measurements) (*Result, error) {
+	o := d.algo.engineOptions()
+	if d.custom != nil {
+		o = *d.custom
+	}
+	if d.ri != nil {
+		o.Routing = d.ri
+	}
+	if d.lg != nil {
+		o.LG = d.lg
+	}
+	o.Parallelism = d.par
+	return core.RunCtx(ctx, m, o)
+}
+
+// RunCtx executes a custom engine configuration with cancellation support;
+// it is Run with a context.
+func RunCtx(ctx context.Context, m *Measurements, opts Options) (*Result, error) {
+	return core.RunCtx(ctx, m, opts)
+}
+
+// NetworkOption configures a simulated Network at construction time.
+type NetworkOption = netsim.Option
+
+// WithNetworkParallelism bounds the worker count the Network uses for BGP
+// convergence, SPF computation and full-mesh tracerouting. n <= 0 selects
+// runtime.GOMAXPROCS(0); the converged state is identical at any setting.
+func WithNetworkParallelism(n int) NetworkOption { return netsim.WithParallelism(n) }

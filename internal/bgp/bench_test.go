@@ -49,8 +49,31 @@ func BenchmarkDecisionProcess(b *testing.B) {
 	p := PrefixFor(f.ASB)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if st.decide(f.R["x1"], p) == nil {
+		if st.decide(f.R["x1"], p, st.per[p]) == nil {
 			b.Fatal("no route")
+		}
+	}
+}
+
+// BenchmarkConvergenceParallel measures the same full convergence with the
+// per-prefix fixpoints fanned out over 4 workers. On a multi-core machine
+// this should approach a 4x speedup over BenchmarkConvergence.
+func BenchmarkConvergenceParallel(b *testing.B) {
+	res, err := topology.GenerateResearch(topology.DefaultResearchConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	origins := map[Prefix]topology.ASN{}
+	for i := 0; i < 10; i++ {
+		s := res.Stubs[i*13]
+		origins[PrefixFor(s)] = s
+	}
+	up := func(topology.LinkID) bool { return true }
+	ig := igp.New(res.Topo, up)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(Config{Topo: res.Topo, IGP: ig, IsLinkUp: up, Origins: origins, Parallelism: 4}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

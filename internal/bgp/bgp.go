@@ -10,6 +10,12 @@
 // iteration. The NetDiagnoser paper diagnoses non-transient failures after
 // routing has converged, so the stable state — not BGP's transient message
 // dynamics — is the only thing the diagnosis algorithms observe.
+//
+// Prefixes converge independently of each other (the decision process for
+// one prefix never reads another prefix's state), so Compute runs one
+// fixpoint per prefix and, when Config.Parallelism allows, fans the
+// per-prefix fixpoints out over a bounded worker pool. The converged state
+// is identical at any parallelism level.
 package bgp
 
 import (
@@ -17,6 +23,7 @@ import (
 	"sort"
 
 	"netdiag/internal/igp"
+	"netdiag/internal/pool"
 	"netdiag/internal/topology"
 )
 
@@ -107,6 +114,10 @@ type Config struct {
 	Filters []ExportFilter
 	// MaxRounds caps the fixpoint iteration; 0 means a generous default.
 	MaxRounds int
+	// Parallelism bounds the worker pool the per-prefix fixpoints run on.
+	// Values <= 1 converge sequentially (the default); the result is the
+	// same either way.
+	Parallelism int
 }
 
 // session is one live eBGP session endpoint as seen from Local.
@@ -116,21 +127,29 @@ type session struct {
 	Rel    topology.Rel // Local AS's view of Remote's AS
 }
 
+// prefixState is the converged state of a single prefix. Each prefix's
+// fixpoint reads and writes only its own prefixState, which is what makes
+// the per-prefix convergence safely parallel.
+type prefixState struct {
+	// best is the router's best route, indexed by RouterID (nil = none).
+	best []*Route
+	// adjIn[router][neighbor router]: what neighbor advertised.
+	adjIn  map[topology.RouterID]map[topology.RouterID]*Route
+	rounds int
+}
+
 // State is a converged routing state.
 type State struct {
 	cfg      Config
 	prefixes []Prefix
 	sessions map[topology.RouterID][]session
-	// best[router][prefix]
-	best map[topology.RouterID]map[Prefix]*Route
-	// adjIn[router][neighbor router][prefix]: what neighbor advertised.
-	adjIn  map[topology.RouterID]map[topology.RouterID]map[Prefix]*Route
-	rounds int
+	per      map[Prefix]*prefixState
+	rounds   int
 }
 
-// Compute converges the routing state. It returns an error only if the
-// iteration fails to reach a fixpoint within the round cap, which for
-// relationship-consistent topologies indicates a configuration bug.
+// Compute converges the routing state. It returns an error only if some
+// prefix's iteration fails to reach a fixpoint within the round cap, which
+// for relationship-consistent topologies indicates a configuration bug.
 func Compute(cfg Config) (*State, error) {
 	if cfg.IsLinkUp == nil {
 		cfg.IsLinkUp = func(topology.LinkID) bool { return true }
@@ -141,8 +160,7 @@ func Compute(cfg Config) (*State, error) {
 	s := &State{
 		cfg:      cfg,
 		sessions: map[topology.RouterID][]session{},
-		best:     map[topology.RouterID]map[Prefix]*Route{},
-		adjIn:    map[topology.RouterID]map[topology.RouterID]map[Prefix]*Route{},
+		per:      map[Prefix]*prefixState{},
 	}
 	for p := range cfg.Origins {
 		s.prefixes = append(s.prefixes, p)
@@ -154,12 +172,29 @@ func Compute(cfg Config) (*State, error) {
 	if maxRounds == 0 {
 		maxRounds = 500
 	}
-	for s.rounds = 1; s.rounds <= maxRounds; s.rounds++ {
-		if !s.step() {
-			return s, nil
+	states := make([]*prefixState, len(s.prefixes))
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	err := pool.ForEach(nil, workers, len(s.prefixes), func(i int) error {
+		ps, err := s.convergePrefix(s.prefixes[i], maxRounds)
+		if err != nil {
+			return err
+		}
+		states[i] = ps
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range s.prefixes {
+		s.per[p] = states[i]
+		if states[i].rounds > s.rounds {
+			s.rounds = states[i].rounds
 		}
 	}
-	return nil, fmt.Errorf("bgp: no convergence after %d rounds", maxRounds)
+	return s, nil
 }
 
 // buildSessions enumerates the live eBGP sessions.
@@ -183,51 +218,49 @@ func (s *State) buildSessions() {
 	}
 }
 
-// step runs one synchronous round: recompute every router's best routes
-// from the previous round's state, then recompute every Adj-RIB-In from the
-// new bests. It reports whether anything changed.
-func (s *State) step() bool {
+// convergePrefix runs the synchronous fixpoint for one prefix.
+func (s *State) convergePrefix(p Prefix, maxRounds int) (*prefixState, error) {
+	ps := &prefixState{
+		best:  make([]*Route, s.cfg.Topo.NumRouters()),
+		adjIn: map[topology.RouterID]map[topology.RouterID]*Route{},
+	}
+	for ps.rounds = 1; ps.rounds <= maxRounds; ps.rounds++ {
+		if !s.stepPrefix(p, ps) {
+			return ps, nil
+		}
+	}
+	return nil, fmt.Errorf("bgp: prefix %s: no convergence after %d rounds", p, maxRounds)
+}
+
+// stepPrefix runs one synchronous round for one prefix: recompute every
+// router's best route from the previous round's state, then recompute every
+// Adj-RIB-In from the new bests. It reports whether anything changed.
+func (s *State) stepPrefix(p Prefix, ps *prefixState) bool {
 	topo := s.cfg.Topo
 	changed := false
 
-	newBest := make(map[topology.RouterID]map[Prefix]*Route, topo.NumRouters())
+	newBest := make([]*Route, topo.NumRouters())
 	for id := 0; id < topo.NumRouters(); id++ {
 		r := topology.RouterID(id)
 		if !s.cfg.IsRouterUp(r) {
 			continue
 		}
-		row := make(map[Prefix]*Route, len(s.prefixes))
-		for _, p := range s.prefixes {
-			if b := s.decide(r, p); b != nil {
-				row[p] = b
-			}
-		}
-		newBest[r] = row
-		if !changed {
-			old := s.best[r]
-			if len(old) != len(row) {
-				changed = true
-			} else {
-				for p, b := range row {
-					if !b.equal(old[p]) {
-						changed = true
-						break
-					}
-				}
-			}
+		newBest[r] = s.decide(r, p, ps)
+		if !changed && !newBest[r].equal(ps.best[r]) {
+			changed = true
 		}
 	}
-	s.best = newBest
+	ps.best = newBest
 
-	newAdj := make(map[topology.RouterID]map[topology.RouterID]map[Prefix]*Route)
+	newAdj := map[topology.RouterID]map[topology.RouterID]*Route{}
 	for _, sess := range s.sessions {
 		for _, e := range sess {
-			// Routes e.Local receives FROM e.Remote: Remote's exports.
-			in := s.exports(e.Remote, e.Local)
-			if len(in) > 0 {
+			// The route e.Local receives FROM e.Remote: Remote's export.
+			in := s.export(e.Remote, e.Local, p, ps)
+			if in != nil {
 				m := newAdj[e.Local]
 				if m == nil {
-					m = map[topology.RouterID]map[Prefix]*Route{}
+					m = map[topology.RouterID]*Route{}
 					newAdj[e.Local] = m
 				}
 				m[e.Remote] = in
@@ -235,13 +268,13 @@ func (s *State) step() bool {
 		}
 	}
 	if !changed {
-		changed = !adjEqual(s.adjIn, newAdj)
+		changed = !adjEqual(ps.adjIn, newAdj)
 	}
-	s.adjIn = newAdj
+	ps.adjIn = newAdj
 	return changed
 }
 
-func adjEqual(a, b map[topology.RouterID]map[topology.RouterID]map[Prefix]*Route) bool {
+func adjEqual(a, b map[topology.RouterID]map[topology.RouterID]*Route) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -250,44 +283,37 @@ func adjEqual(a, b map[topology.RouterID]map[topology.RouterID]map[Prefix]*Route
 		if !ok || len(am) != len(bm) {
 			return false
 		}
-		for n, ap := range am {
-			bp, ok := bm[n]
-			if !ok || len(ap) != len(bp) {
+		for n, ar := range am {
+			if !ar.equal(bm[n]) {
 				return false
-			}
-			for p, ar := range ap {
-				if !ar.equal(bp[p]) {
-					return false
-				}
 			}
 		}
 	}
 	return true
 }
 
-// exports computes the routes router `from` advertises to eBGP neighbor
-// `to` under Gao–Rexford policy and the active export filters.
-func (s *State) exports(from, to topology.RouterID) map[Prefix]*Route {
+// export computes the route router `from` advertises to eBGP neighbor `to`
+// for prefix p under Gao–Rexford policy and the active export filters, or
+// nil when nothing is advertised.
+func (s *State) export(from, to topology.RouterID, p Prefix, ps *prefixState) *Route {
 	topo := s.cfg.Topo
-	fromAS, toAS := topo.RouterAS(from), topo.RouterAS(to)
-	rel := topo.Rel(fromAS, toAS) // from's view of to
-	out := map[Prefix]*Route{}
-	for p, b := range s.best[from] {
-		if !s.exportAllowed(b, rel) {
-			continue
-		}
-		if s.filtered(from, to, p) {
-			continue
-		}
-		adv := &Route{
-			Prefix:     p,
-			ASPath:     append([]topology.ASN{fromAS}, b.ASPath...),
-			Egress:     from, // meaningful to the receiver as "came from"
-			PeerRouter: from,
-		}
-		out[p] = adv
+	b := ps.best[from]
+	if b == nil {
+		return nil
 	}
-	return out
+	fromAS, toAS := topo.RouterAS(from), topo.RouterAS(to)
+	if !s.exportAllowed(b, topo.Rel(fromAS, toAS)) {
+		return nil
+	}
+	if s.filtered(from, to, p) {
+		return nil
+	}
+	return &Route{
+		Prefix:     p,
+		ASPath:     append([]topology.ASN{fromAS}, b.ASPath...),
+		Egress:     from, // meaningful to the receiver as "came from"
+		PeerRouter: from,
+	}
 }
 
 // exportAllowed implements Gao–Rexford: own and customer routes go to
@@ -313,7 +339,7 @@ func (s *State) filtered(from, to topology.RouterID, p Prefix) bool {
 
 // decide runs the BGP decision process at router r for prefix p over the
 // previous round's Adj-RIB-Ins and iBGP-learned bests.
-func (s *State) decide(r topology.RouterID, p Prefix) *Route {
+func (s *State) decide(r topology.RouterID, p Prefix, ps *prefixState) *Route {
 	topo := s.cfg.Topo
 	asn := topo.RouterAS(r)
 
@@ -331,7 +357,7 @@ func (s *State) decide(r topology.RouterID, p Prefix) *Route {
 
 	// eBGP: routes in Adj-RIB-In from live sessions.
 	for _, e := range s.sessions[r] {
-		adv := s.adjIn[r][e.Remote][p]
+		adv := ps.adjIn[r][e.Remote]
 		if adv == nil || adv.hasAS(asn) {
 			continue
 		}
@@ -350,7 +376,7 @@ func (s *State) decide(r topology.RouterID, p Prefix) *Route {
 		if peer == r || !s.cfg.IsRouterUp(peer) {
 			continue
 		}
-		pb := s.best[peer][p]
+		pb := ps.best[peer]
 		if pb == nil || pb.viaIBGP || pb.Local {
 			// iBGP-learned routes are not re-advertised over iBGP;
 			// local origination is known to every router already.
@@ -406,15 +432,19 @@ func (s *State) better(r topology.RouterID, a, b *Route) bool {
 
 // Best returns router r's best route for prefix p.
 func (s *State) Best(r topology.RouterID, p Prefix) (*Route, bool) {
-	b, ok := s.best[r][p]
-	return b, ok
+	ps := s.per[p]
+	if ps == nil || int(r) >= len(ps.best) || ps.best[r] == nil {
+		return nil, false
+	}
+	return ps.best[r], true
 }
 
 // Prefixes returns the announced prefixes in sorted order. The returned
 // slice is shared; callers must not modify it.
 func (s *State) Prefixes() []Prefix { return s.prefixes }
 
-// Rounds returns the number of synchronous rounds the fixpoint took.
+// Rounds returns the number of synchronous rounds the slowest prefix's
+// fixpoint took.
 func (s *State) Rounds() int { return s.rounds }
 
 // AdjInPrefixes returns the set of prefixes router r currently receives
@@ -422,8 +452,10 @@ func (s *State) Rounds() int { return s.rounds }
 // BGP withdrawals the paper's ND-bgpigp consumes.
 func (s *State) AdjInPrefixes(r, from topology.RouterID) map[Prefix]bool {
 	out := map[Prefix]bool{}
-	for p := range s.adjIn[r][from] {
-		out[p] = true
+	for p, ps := range s.per {
+		if ps.adjIn[r][from] != nil {
+			out[p] = true
+		}
 	}
 	return out
 }
@@ -446,9 +478,13 @@ func (s *State) ASPathFrom(from topology.ASN, p Prefix) ([]topology.ASN, bool) {
 	if s.cfg.Origins[p] == from {
 		return []topology.ASN{from}, true
 	}
+	ps := s.per[p]
+	if ps == nil {
+		return nil, false
+	}
 	var best *Route
 	for _, r := range s.cfg.Topo.AS(from).Routers {
-		if b := s.best[r][p]; b != nil && !b.viaIBGP {
+		if b := ps.best[r]; b != nil && !b.viaIBGP {
 			if best == nil || s.better(r, b, best) {
 				best = b
 			}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"sort"
 
+	"netdiag/internal/pool"
 	"netdiag/internal/topology"
 )
 
@@ -38,6 +40,11 @@ type Options struct {
 	// settling on per-neighbor. Only meaningful with LogicalLinks; kept
 	// for the scalability study.
 	PerPrefixLogical bool
+	// Parallelism bounds the worker count for candidate scoring inside the
+	// greedy cover loop. <= 1 runs sequentially; the hypothesis set is
+	// identical at any setting because scores land in per-candidate slots
+	// and selection scans them in deterministic order.
+	Parallelism int
 }
 
 // Tomo runs the multi-AS Boolean tomography baseline of §2.
@@ -82,6 +89,8 @@ func newObsSet(links []Link) *obsSet {
 
 // engine carries the state of one diagnosis run.
 type engine struct {
+	ctx      context.Context
+	workers  int
 	opts     Options
 	exp      *expander
 	nodeAS   map[Node]topology.ASN
@@ -105,6 +114,17 @@ type engine struct {
 
 // Run executes the configured diagnosis on the measurements.
 func Run(m *Measurements, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), m, opts)
+}
+
+// RunCtx executes the configured diagnosis, honoring ctx: cancellation is
+// checked between pipeline phases and on every greedy iteration, so a long
+// run aborts promptly with ctx.Err(). The result is identical to Run for an
+// uncancelled context.
+func RunCtx(ctx context.Context, m *Measurements, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,7 +134,13 @@ func Run(m *Measurements, opts Options) (*Result, error) {
 	if opts.RerouteWeight == 0 {
 		opts.RerouteWeight = 1
 	}
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = 1 // zero Options stays sequential for compatibility
+	}
 	e := &engine{
+		ctx:        ctx,
+		workers:    workers,
 		opts:       opts,
 		exp:        newExpander(opts.PerPrefixLogical),
 		nodeAS:     map[Node]topology.ASN{},
@@ -134,6 +160,9 @@ func Run(m *Measurements, opts Options) (*Result, error) {
 		e.uhTags = mapUHs(work, opts.LG)
 	}
 	e.buildSets(work)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.exonerateWithdrawalEdges()
 	e.buildCandidates()
 	e.addPhysParents()
@@ -141,7 +170,13 @@ func Run(m *Measurements, opts Options) (*Result, error) {
 	if opts.LG != nil {
 		e.buildClusters()
 	}
-	iters := e.greedy()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	iters, err := e.greedy()
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{Iterations: iters}
 	for _, fs := range e.failSets {
@@ -409,10 +444,17 @@ func sharesPath(a, b map[pair]bool) bool {
 
 // greedy runs the weighted greedy minimum-hitting-set of Algorithm 1,
 // extended with reroute sets (§3.2) and link clusters (§3.4). It returns
-// the number of iterations.
-func (e *engine) greedy() int {
+// the number of iterations. Candidate scores are computed concurrently
+// over e.workers goroutines (each score reads only the sets frozen for
+// this iteration and writes its own slot), then scanned in sorted-link
+// order, so the hypothesis is identical at any parallelism. Cancellation
+// is checked once per iteration.
+func (e *engine) greedy() (int, error) {
 	iters := 0
 	for {
+		if err := e.ctx.Err(); err != nil {
+			return iters, err
+		}
 		remaining := 0
 		for _, fs := range e.failSets {
 			if !fs.explained {
@@ -425,26 +467,31 @@ func (e *engine) greedy() int {
 			}
 		}
 		if remaining == 0 || len(e.cand) == 0 {
-			return iters
+			return iters, nil
 		}
 		iters++
 
+		cands := e.cand.sorted()
+		scores := make([]float64, len(cands))
+		_ = pool.ForEach(e.ctx, e.workers, len(cands), func(i int) error {
+			f, r := e.coverCounts(cands[i])
+			scores[i] = e.opts.FailureWeight*float64(f) + e.opts.RerouteWeight*float64(r)
+			return nil
+		})
 		best := 0.0
 		var bestLinks []Link
-		for _, l := range e.cand.sorted() {
-			f, r := e.coverCounts(l)
-			score := e.opts.FailureWeight*float64(f) + e.opts.RerouteWeight*float64(r)
+		for i, l := range cands {
 			switch {
-			case score > best:
-				best = score
+			case scores[i] > best:
+				best = scores[i]
 				bestLinks = bestLinks[:0]
 				bestLinks = append(bestLinks, l)
-			case score == best && score > 0:
+			case scores[i] == best && best > 0:
 				bestLinks = append(bestLinks, l)
 			}
 		}
 		if best == 0 {
-			return iters // remaining sets are unexplainable
+			return iters, nil // remaining sets are unexplainable
 		}
 		for _, l := range bestLinks {
 			e.hyp = append(e.hyp, l)

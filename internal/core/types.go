@@ -85,18 +85,37 @@ func (m *Measurements) index() (before, after map[pair]*TracePath) {
 	return before, after
 }
 
+// ValidationError reports malformed measurements: which mesh ("before" or
+// "after") and sensor pair the offending path belongs to, and why it was
+// rejected. Every diagnosis entry point validates its input and returns a
+// *ValidationError that callers can extract with errors.As.
+type ValidationError struct {
+	// Mesh is "before" or "after".
+	Mesh string
+	// Src, Dst are the sensor indices of the offending path.
+	Src, Dst int
+	// Reason describes the defect.
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("core: %s path %d->%d invalid: %s", e.Mesh, e.Src, e.Dst, e.Reason)
+}
+
 // Validate checks the measurements are well-formed: sensor indices in
 // range, hop lists non-empty, and each After pair also measured Before.
+// A failure is reported as a *ValidationError.
 func (m *Measurements) Validate() error {
 	before, _ := m.index()
-	check := func(p *TracePath, label string) error {
+	check := func(p *TracePath, mesh string) *ValidationError {
 		if p.SrcSensor < 0 || p.SrcSensor >= m.NumSensors ||
 			p.DstSensor < 0 || p.DstSensor >= m.NumSensors {
-			return fmt.Errorf("core: %s path %d->%d out of sensor range %d",
-				label, p.SrcSensor, p.DstSensor, m.NumSensors)
+			return &ValidationError{Mesh: mesh, Src: p.SrcSensor, Dst: p.DstSensor,
+				Reason: fmt.Sprintf("out of sensor range %d", m.NumSensors)}
 		}
 		if len(p.Hops) == 0 {
-			return fmt.Errorf("core: %s path %d->%d has no hops", label, p.SrcSensor, p.DstSensor)
+			return &ValidationError{Mesh: mesh, Src: p.SrcSensor, Dst: p.DstSensor,
+				Reason: "no hops"}
 		}
 		return nil
 	}
@@ -110,8 +129,8 @@ func (m *Measurements) Validate() error {
 			return err
 		}
 		if _, ok := before[pair{p.SrcSensor, p.DstSensor}]; !ok {
-			return fmt.Errorf("core: after path %d->%d has no before measurement",
-				p.SrcSensor, p.DstSensor)
+			return &ValidationError{Mesh: "after", Src: p.SrcSensor, Dst: p.DstSensor,
+				Reason: "no before measurement"}
 		}
 	}
 	return nil

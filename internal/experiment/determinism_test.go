@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// csvBytes runs the figure at the given parallelism and returns every CSV
+// file it writes, keyed by file name.
+func csvBytes(t *testing.T, fn func(Config) (*Figure, error), seed int64, par int) map[string][]byte {
+	t.Helper()
+	cfg := DefaultConfig(seed)
+	cfg.Placements = 2
+	cfg.FailuresPerPlacement = 6
+	cfg.Parallelism = par
+	fig, err := fn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := fig.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = b
+	}
+	if len(out) == 0 {
+		t.Fatal("figure wrote no CSV files")
+	}
+	return out
+}
+
+// TestParallelismCSVDeterminism is the acceptance check for the parallel
+// engine: for a fixed seed the figure CSVs must be byte-identical between
+// sequential execution (parallelism 1) and a heavily parallel run
+// (parallelism 8), for both the diagnosability study (Figure 5, parallel
+// over placement×size×rep tasks) and a trial-driven scenario figure
+// (Figure 7, parallel envs + speculative trial waves).
+func TestParallelismCSVDeterminism(t *testing.T) {
+	figs := []struct {
+		name string
+		fn   func(Config) (*Figure, error)
+	}{
+		{"fig5", Figure5},
+		{"fig7", Figure7},
+	}
+	for _, f := range figs {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Parallel()
+			seq := csvBytes(t, f.fn, 7707, 1)
+			par := csvBytes(t, f.fn, 7707, 8)
+			if len(seq) != len(par) {
+				t.Fatalf("file sets differ: sequential %d files, parallel %d", len(seq), len(par))
+			}
+			for name, want := range seq {
+				got, ok := par[name]
+				if !ok {
+					t.Fatalf("parallel run missing %s", name)
+				}
+				if !bytes.Equal(want, got) {
+					t.Errorf("%s differs between parallelism 1 and 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+						name, want, got)
+				}
+			}
+		})
+	}
+}

@@ -4,10 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"netdiag/internal/core"
 	"netdiag/internal/metrics"
+	"netdiag/internal/netsim"
+	"netdiag/internal/pool"
 	"netdiag/internal/topology"
 )
 
@@ -22,8 +23,16 @@ type Config struct {
 	// MaxTriesFactor bounds fault resampling: a placement gives up after
 	// FailuresPerPlacement*MaxTriesFactor non-impactful samples.
 	MaxTriesFactor int
-	// Parallel runs placements on goroutines (results are merged in
-	// placement order, so output stays deterministic).
+	// Parallelism bounds the worker pool shared by environment setup,
+	// simulated trials and network convergence. 1 runs everything
+	// sequentially; 0 (with Parallel set) picks runtime.GOMAXPROCS(0).
+	// Figure output is byte-identical at every parallelism level: faults
+	// are sampled from seeded per-placement RNGs independent of
+	// scheduling, and results are collected in deterministic
+	// (placement, trial) order.
+	Parallelism int
+	// Parallel is the legacy switch: when Parallelism is 0, Parallel
+	// selects between GOMAXPROCS workers (true) and sequential (false).
 	Parallel bool
 }
 
@@ -37,6 +46,17 @@ func DefaultConfig(seed int64) Config {
 		MaxTriesFactor:       12,
 		Parallel:             true,
 	}
+}
+
+// parallelism resolves the configured worker count.
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	if c.Parallel {
+		return pool.Size(0)
+	}
+	return 1
 }
 
 // Scaled returns a copy with placements and failures scaled down by
@@ -105,12 +125,30 @@ type hooks struct {
 	sample func(env *Env, rng *rand.Rand) (Fault, bool)
 }
 
-// visit receives every impactful trial, already under the runner's lock
-// when Parallel is on — implementations need no extra synchronization.
+// visit receives every impactful trial. The runner always invokes it from
+// a single goroutine, in deterministic (placement, trial) order —
+// implementations need no synchronization at any parallelism level.
 type visit func(placement int, env *Env, td *TrialData)
+
+// placementRun is one placement's prepared state: the converged
+// environment plus the RNG that continues driving its fault sampling.
+type placementRun struct {
+	env              *Env
+	asx              topology.ASN
+	blocked, lgAvail map[topology.ASN]bool
+	rng              *rand.Rand
+}
 
 // runScenario executes cfg.Placements placements of the hooks' scenario on
 // one generated research topology, delivering impactful trials to v.
+//
+// Parallel execution is deterministic by construction: each placement's
+// faults are drawn sequentially from its own seeded RNG (scheduling never
+// touches an RNG), the trials of a placement run concurrently on the
+// worker pool as pure functions of their fault, and v receives the first
+// FailuresPerPlacement impactful trials of each placement in sampling
+// order. The visit sequence — and therefore every figure and CSV — is
+// byte-identical from parallelism 1 to N.
 func runScenario(cfg Config, h hooks, v visit) error {
 	res, err := topology.GenerateResearch(topology.DefaultResearchConfig(cfg.Seed))
 	if err != nil {
@@ -119,68 +157,85 @@ func runScenario(cfg Config, h hooks, v visit) error {
 	if h.asx == nil {
 		h.asx = func(env *Env) topology.ASN { return env.Res.Cores[0] }
 	}
-	var mu sync.Mutex
-	runOne := func(p int) error {
+	workers := cfg.parallelism()
+
+	// Phase 1: build every placement's environment (the expensive
+	// full-network convergence + pre-failure mesh) on the pool.
+	runs := make([]*placementRun, cfg.Placements)
+	err = pool.ForEach(nil, workers, cfg.Placements, func(p int) error {
 		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(p)*7919))
 		sensors, _, err := PlaceSensors(res, h.placement, cfg.NumSensors, rng)
 		if err != nil {
 			return err
 		}
-		env, err := NewEnv(res, sensors)
+		env, err := NewEnv(res, sensors, netsim.WithParallelism(workers))
 		if err != nil {
 			return err
 		}
 		asx := h.asx(env)
-		var blocked, lgAvail map[topology.ASN]bool
+		pr := &placementRun{env: env, asx: asx, rng: rng}
 		if h.blocked != nil {
-			blocked = h.blocked(env, asx, rng)
+			pr.blocked = h.blocked(env, asx, rng)
 		}
 		if h.lgAvail != nil {
-			lgAvail = h.lgAvail(env, asx, rng)
+			pr.lgAvail = h.lgAvail(env, asx, rng)
 		}
+		runs[p] = pr
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: per placement, sample faults in waves and run the wave's
+	// trials concurrently. Sampling stays sequential on the placement RNG;
+	// results are scanned in sampling order, so the selected trials are
+	// exactly the ones a sequential run would have kept.
+	maxTries := cfg.FailuresPerPlacement * cfg.MaxTriesFactor
+	waveSize := workers * 2
+	if waveSize < 1 {
+		waveSize = 1
+	}
+	for p := 0; p < cfg.Placements; p++ {
+		pr := runs[p]
 		got, tries := 0, 0
-		maxTries := cfg.FailuresPerPlacement * cfg.MaxTriesFactor
-		for got < cfg.FailuresPerPlacement && tries < maxTries {
-			tries++
-			f, ok := h.sample(env, rng)
-			if !ok {
-				break
+		exhausted := false
+		for got < cfg.FailuresPerPlacement && tries < maxTries && !exhausted {
+			var wave []Fault
+			for len(wave) < waveSize && tries+len(wave) < maxTries {
+				f, ok := h.sample(pr.env, pr.rng)
+				if !ok {
+					exhausted = true
+					break
+				}
+				wave = append(wave, f)
 			}
-			td, err := env.RunTrial(f, asx, blocked, lgAvail)
-			if err == ErrNoImpact {
-				continue
-			}
+			results := make([]*TrialData, len(wave))
+			err := pool.ForEach(nil, workers, len(wave), func(i int) error {
+				td, err := pr.env.RunTrial(wave[i], pr.asx, pr.blocked, pr.lgAvail)
+				if err == ErrNoImpact {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				results[i] = td
+				return nil
+			})
 			if err != nil {
 				return err
 			}
-			got++
-			mu.Lock()
-			v(p, env, td)
-			mu.Unlock()
-		}
-		return nil
-	}
-	if !cfg.Parallel {
-		for p := 0; p < cfg.Placements; p++ {
-			if err := runOne(p); err != nil {
-				return err
+			tries += len(wave)
+			for _, td := range results {
+				if td == nil {
+					continue
+				}
+				if got >= cfg.FailuresPerPlacement {
+					break // speculative extra beyond the quota
+				}
+				got++
+				v(p, pr.env, td)
 			}
-		}
-		return nil
-	}
-	errs := make([]error, cfg.Placements)
-	var wg sync.WaitGroup
-	for p := 0; p < cfg.Placements; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			errs[p] = runOne(p)
-		}(p)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
 		}
 	}
 	return nil
@@ -247,21 +302,36 @@ func Figure5(cfg Config) (*Figure, error) {
 	}
 	ns := []int{4, 6, 8, 10, 14, 18, 24, 30, 40, 50}
 	reps := max(1, cfg.Placements/3)
-	for _, kind := range []Placement{PlaceSameAS, PlaceDistantAS, PlaceDistantSplit, PlaceRandomStubs} {
+	kinds := []Placement{PlaceSameAS, PlaceDistantAS, PlaceDistantSplit, PlaceRandomStubs}
+	// Every (kind, n, rep) cell is an independent environment build; fan
+	// them out and accumulate in index order so the averages (and their
+	// floating-point rounding) match the sequential run exactly.
+	diag := make([]float64, len(kinds)*len(ns)*reps)
+	err = pool.ForEach(nil, cfg.parallelism(), len(diag), func(t int) error {
+		rep := t % reps
+		n := ns[(t/reps)%len(ns)]
+		kind := kinds[t/(reps*len(ns))]
+		rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(rep)*17 + int64(n)))
+		sensors, _, err := PlaceSensors(res, kind, n, rng)
+		if err != nil {
+			return err
+		}
+		env, err := NewEnv(res, sensors)
+		if err != nil {
+			return err
+		}
+		diag[t] = core.Diagnosability(env.Measurements().Before)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, kind := range kinds {
 		s := Series{Name: kind.String()}
-		for _, n := range ns {
+		for ni, n := range ns {
 			sum := 0.0
 			for rep := 0; rep < reps; rep++ {
-				rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(rep)*17 + int64(n)))
-				sensors, _, err := PlaceSensors(res, kind, n, rng)
-				if err != nil {
-					return nil, err
-				}
-				env, err := NewEnv(res, sensors)
-				if err != nil {
-					return nil, err
-				}
-				sum += core.Diagnosability(env.Measurements().Before)
+				sum += diag[(ki*len(ns)+ni)*reps+rep]
 			}
 			s.X = append(s.X, float64(n))
 			s.Y = append(s.Y, sum/float64(reps))

@@ -8,6 +8,7 @@ import (
 
 	"netdiag/internal/bgp"
 	"netdiag/internal/core"
+	"netdiag/internal/igp"
 	"netdiag/internal/ip2as"
 	"netdiag/internal/lookingglass"
 	"netdiag/internal/netsim"
@@ -48,7 +49,9 @@ func (p Placement) String() string {
 }
 
 // Env is one placed experiment environment: a converged network with a
-// sensor overlay and its pre-failure measurements.
+// sensor overlay and its pre-failure measurements. After NewEnv returns,
+// an Env is never mutated: RunTrial injects faults into a private Fork of
+// the network, so concurrent RunTrial calls on one Env are safe.
 type Env struct {
 	Res        *topology.Research
 	Net        *netsim.Network
@@ -64,8 +67,6 @@ type Env struct {
 	// IP2AS is the troubleshooter's IP-to-AS table built from the
 	// announced address space (§3.1).
 	IP2AS *ip2as.Table
-
-	cp netsim.Checkpoint
 }
 
 // PlaceSensors picks sensor routers for a placement strategy. It returns
@@ -143,8 +144,10 @@ func interASPathRouters(res *topology.Research, a, b topology.ASN) ([]topology.R
 }
 
 // NewEnv converges the network for a sensor set and takes the pre-failure
-// measurements.
-func NewEnv(res *topology.Research, sensors []topology.RouterID) (*Env, error) {
+// measurements. Optional netsim options (e.g. netsim.WithParallelism)
+// configure the environment's network; a shared SPF cache is always
+// installed so the fault trials reuse unchanged per-AS routing tables.
+func NewEnv(res *topology.Research, sensors []topology.RouterID, netOpts ...netsim.Option) (*Env, error) {
 	topo := res.Topo
 	asSet := map[topology.ASN]bool{}
 	var origins []topology.ASN
@@ -157,7 +160,8 @@ func NewEnv(res *topology.Research, sensors []topology.RouterID) (*Env, error) {
 			origins = append(origins, as)
 		}
 	}
-	net, err := netsim.New(topo, origins)
+	opts := append([]netsim.Option{netsim.WithSPFCache(igp.NewCache())}, netOpts...)
+	net, err := netsim.New(topo, origins, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +172,6 @@ func NewEnv(res *topology.Research, sensors []topology.RouterID) (*Env, error) {
 		SensorASes: sensorASes,
 		BeforeMesh: net.Mesh(sensors),
 		BeforeBGP:  net.BGP(),
-		cp:         net.Checkpoint(),
 	}
 	if env.BeforeMesh.AnyFailed() {
 		return nil, errors.New("experiment: pre-failure mesh has unreachable pairs")
@@ -277,25 +280,27 @@ type TrialData struct {
 // troubleshooter would never be invoked (§4).
 var ErrNoImpact = errors.New("experiment: fault caused no unreachability")
 
-// RunTrial injects a fault, gathers the post-failure measurements and
-// control-plane observations for troubleshooter asx, and restores the
-// network. blocked masks traceroute hops; lgAvail limits Looking Glasses
+// RunTrial injects a fault into a private fork of the healthy network,
+// gathers the post-failure measurements and control-plane observations for
+// troubleshooter asx, and discards the fork — the Env's own network stays
+// untouched and healthy, which makes concurrent RunTrial calls on one Env
+// safe. blocked masks traceroute hops; lgAvail limits Looking Glasses
 // (nil = all ASes have one).
 func (e *Env) RunTrial(f Fault, asx topology.ASN, blocked map[topology.ASN]bool, lgAvail map[topology.ASN]bool) (*TrialData, error) {
-	defer e.Net.Restore(e.cp)
+	net := e.Net.Fork()
 	for _, id := range f.Links {
-		e.Net.FailLink(id)
+		net.FailLink(id)
 	}
 	for _, r := range f.Routers {
-		e.Net.FailRouter(r)
+		net.FailRouter(r)
 	}
 	for _, flt := range f.Filters {
-		e.Net.AddExportFilter(flt)
+		net.AddExportFilter(flt)
 	}
-	if err := e.Net.Reconverge(); err != nil {
+	if err := net.Reconverge(); err != nil {
 		return nil, err
 	}
-	afterMesh := e.Net.Mesh(e.Sensors)
+	afterMesh := net.Mesh(e.Sensors)
 	if !afterMesh.AnyFailed() {
 		return nil, ErrNoImpact
 	}
@@ -311,11 +316,11 @@ func (e *Env) RunTrial(f Fault, asx topology.ASN, blocked map[topology.ASN]bool,
 	}
 	td.Routing = &core.RoutingInfo{
 		ASX:          asx,
-		IGPDownLinks: AdaptIGPDowns(e.Net, asx),
+		IGPDownLinks: AdaptIGPDowns(net, asx),
 		Withdrawals: AdaptWithdrawals(topo,
-			netsim.Withdrawals(topo, e.BeforeBGP, e.Net.BGP(), asx), e.SensorASes),
+			netsim.Withdrawals(topo, e.BeforeBGP, net.BGP(), asx), e.SensorASes),
 	}
-	td.LG = lookingglass.New(e.Net.BGP(), e.BeforeBGP, lgAvail, asx, e.Prefixes)
+	td.LG = lookingglass.New(net.BGP(), e.BeforeBGP, lgAvail, asx, e.Prefixes)
 	td.FailedLinks, td.FailedASes = e.GroundTruth(f)
 	for as := range e.BeforeMesh.CoveredASes() {
 		td.CoveredASes = append(td.CoveredASes, as)

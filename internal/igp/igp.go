@@ -6,9 +6,13 @@ package igp
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 	"sort"
+	"strings"
+	"sync"
 
+	"netdiag/internal/pool"
 	"netdiag/internal/topology"
 )
 
@@ -38,17 +42,101 @@ type State struct {
 // link is currently up; the function is retained for next-hop derivation
 // and must keep answering consistently until the State is discarded.
 func New(topo *topology.Topology, isUp func(topology.LinkID) bool) *State {
+	return NewCached(topo, isUp, nil, 1)
+}
+
+// Cache memoizes per-AS SPF results across IGP recomputations, keyed by
+// (AS, set of failed intra-AS links). Experiment loops converge thousands
+// of fault scenarios on one topology, and any given fault touches at most
+// a couple of ASes — every other AS's intra-domain routing is bit-identical
+// to the healthy network's, so its SPF tables are reused instead of
+// recomputed. A Cache is safe for concurrent use and returns shared,
+// read-only distance maps.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]map[topology.RouterID]map[topology.RouterID]int
+}
+
+// NewCache returns an empty SPF cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]map[topology.RouterID]map[topology.RouterID]int{}}
+}
+
+// Len reports the number of cached (AS, failed-link-set) entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// key canonically names one AS's intra-domain failure state.
+func cacheKey(asn topology.ASN, failed []topology.LinkID) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", asn)
+	for i, l := range failed {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", l)
+	}
+	return b.String()
+}
+
+// NewCached computes IGP state for all ASes, reusing cached per-AS SPF
+// tables where the AS's failed intra-link set matches a previous
+// computation. A nil cache disables reuse. Per-AS computations fan out
+// over at most `workers` goroutines; the result is identical at any
+// parallelism level.
+func NewCached(topo *topology.Topology, isUp func(topology.LinkID) bool, cache *Cache, workers int) *State {
 	s := &State{
 		topo: topo,
 		isUp: isUp,
 		dist: make(map[topology.RouterID]map[topology.RouterID]int, topo.NumRouters()),
 	}
-	for _, asn := range topo.ASNumbers() {
-		for _, src := range topo.AS(asn).Routers {
-			s.dist[src] = s.runSPF(src)
+	asns := topo.ASNumbers()
+	perAS := make([]map[topology.RouterID]map[topology.RouterID]int, len(asns))
+	_ = pool.ForEach(nil, workers, len(asns), func(i int) error {
+		perAS[i] = s.asTables(asns[i], cache)
+		return nil
+	})
+	for _, tables := range perAS {
+		for src, d := range tables {
+			s.dist[src] = d
 		}
 	}
 	return s
+}
+
+// asTables returns the per-source SPF tables of one AS, from the cache
+// when possible.
+func (s *State) asTables(asn topology.ASN, cache *Cache) map[topology.RouterID]map[topology.RouterID]int {
+	var key string
+	if cache != nil {
+		var failed []topology.LinkID
+		for _, l := range s.topo.IntraLinks(asn) {
+			if !s.isUp(l.ID) {
+				failed = append(failed, l.ID)
+			}
+		}
+		sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+		key = cacheKey(asn, failed)
+		cache.mu.Lock()
+		hit, ok := cache.entries[key]
+		cache.mu.Unlock()
+		if ok {
+			return hit
+		}
+	}
+	tables := make(map[topology.RouterID]map[topology.RouterID]int)
+	for _, src := range s.topo.AS(asn).Routers {
+		tables[src] = s.runSPF(src)
+	}
+	if cache != nil {
+		cache.mu.Lock()
+		cache.entries[key] = tables
+		cache.mu.Unlock()
+	}
+	return tables
 }
 
 // item is a priority-queue entry for Dijkstra.

@@ -11,6 +11,7 @@ import (
 
 	"netdiag/internal/bgp"
 	"netdiag/internal/igp"
+	"netdiag/internal/pool"
 	"netdiag/internal/probe"
 	"netdiag/internal/topology"
 )
@@ -21,6 +22,11 @@ const MaxTTL = 64
 // Network is a simulated internetwork in a consistent, converged state.
 // Mutate it with FailLink/FailRouter/AddExportFilter and call Reconverge
 // before issuing new traceroutes.
+//
+// A converged Network is safe for concurrent reads (Traceroute, Mesh,
+// AllPaths, the state accessors); the fault-injection mutators and
+// Reconverge are not. To run fault scenarios concurrently on one topology,
+// give each goroutine its own Fork.
 type Network struct {
 	topo     *topology.Topology
 	linkUp   []bool
@@ -28,19 +34,46 @@ type Network struct {
 	filters  []bgp.ExportFilter
 	origins  map[bgp.Prefix]topology.ASN
 
+	parallelism int
+	spfCache    *igp.Cache
+
 	igp       *igp.State
 	bgp       *bgp.State
 	converged bool
 }
 
+// Option configures a Network at construction time.
+type Option func(*Network)
+
+// WithParallelism bounds the worker pool used by convergence (per-prefix
+// BGP fixpoints, per-AS SPF) and by Mesh (per-pair traceroutes). n <= 1
+// keeps everything sequential, reproducing the exact single-threaded
+// behavior; n <= 0 selects runtime.GOMAXPROCS(0). The converged state and
+// all measurements are identical at any parallelism level.
+func WithParallelism(n int) Option {
+	return func(net *Network) { net.parallelism = pool.Size(n) }
+}
+
+// WithSPFCache attaches a shared IGP SPF cache, so reconvergences across
+// fault scenarios reuse the per-AS shortest-path tables of every AS whose
+// intra-domain failure state is unchanged. The cache may be shared across
+// Networks and Forks of the same topology.
+func WithSPFCache(c *igp.Cache) Option {
+	return func(net *Network) { net.spfCache = c }
+}
+
 // New builds a network announcing one prefix per AS in originASes and
 // converges it.
-func New(topo *topology.Topology, originASes []topology.ASN) (*Network, error) {
+func New(topo *topology.Topology, originASes []topology.ASN, opts ...Option) (*Network, error) {
 	n := &Network{
-		topo:     topo,
-		linkUp:   make([]bool, topo.NumLinks()),
-		routerUp: make([]bool, topo.NumRouters()),
-		origins:  map[bgp.Prefix]topology.ASN{},
+		topo:        topo,
+		linkUp:      make([]bool, topo.NumLinks()),
+		routerUp:    make([]bool, topo.NumRouters()),
+		origins:     map[bgp.Prefix]topology.ASN{},
+		parallelism: 1,
+	}
+	for _, o := range opts {
+		o(n)
 	}
 	for i := range n.linkUp {
 		n.linkUp[i] = true
@@ -58,6 +91,26 @@ func New(topo *topology.Topology, originASes []topology.ASN) (*Network, error) {
 		return nil, err
 	}
 	return n, nil
+}
+
+// Fork returns an independent copy of the network sharing the immutable
+// substrate (topology, origins, SPF cache) and the current converged
+// routing state. Faulting and reconverging the fork never touches the
+// parent, so forks are how concurrent trials run against one environment.
+func (n *Network) Fork() *Network {
+	f := &Network{
+		topo:        n.topo,
+		linkUp:      append([]bool(nil), n.linkUp...),
+		routerUp:    append([]bool(nil), n.routerUp...),
+		filters:     append([]bgp.ExportFilter(nil), n.filters...),
+		origins:     n.origins,
+		parallelism: n.parallelism,
+		spfCache:    n.spfCache,
+		igp:         n.igp,
+		bgp:         n.bgp,
+		converged:   n.converged,
+	}
+	return f
 }
 
 // Topology returns the underlying topology.
@@ -119,14 +172,15 @@ func (n *Network) ClearFaults() {
 // Reconverge recomputes IGP and BGP state for the current fault set.
 func (n *Network) Reconverge() error {
 	isUp := n.LinkIsUp
-	n.igp = igp.New(n.topo, isUp)
+	n.igp = igp.NewCached(n.topo, isUp, n.spfCache, n.parallelism)
 	st, err := bgp.Compute(bgp.Config{
-		Topo:       n.topo,
-		IGP:        n.igp,
-		IsLinkUp:   isUp,
-		IsRouterUp: n.RouterIsUp,
-		Origins:    n.origins,
-		Filters:    n.filters,
+		Topo:        n.topo,
+		IGP:         n.igp,
+		IsLinkUp:    isUp,
+		IsRouterUp:  n.RouterIsUp,
+		Origins:     n.origins,
+		Filters:     n.filters,
+		Parallelism: n.parallelism,
 	})
 	if err != nil {
 		return err
@@ -294,18 +348,17 @@ func (n *Network) AllPaths(src, dst topology.RouterID, limit int) []*probe.Path 
 	return out
 }
 
-// Mesh runs the full mesh of traceroutes among the sensors.
+// Mesh runs the full mesh of traceroutes among the sensors. Sensor-pair
+// paths are computed concurrently when the network was built with
+// WithParallelism > 1; since each traceroute only reads the converged
+// forwarding state, the mesh is identical at any parallelism level.
 func (n *Network) Mesh(sensors []topology.RouterID) *probe.Mesh {
-	m := probe.NewMesh(sensors)
-	for i, a := range sensors {
-		for j, b := range sensors {
-			if i == j {
-				continue
-			}
-			m.Paths[i][j] = n.Traceroute(a, b)
-		}
+	if !n.converged {
+		panic("netsim: Mesh on unconverged network")
 	}
-	return m
+	return probe.FillMesh(sensors, n.parallelism, func(i, j int) *probe.Path {
+		return n.Traceroute(sensors[i], sensors[j])
+	})
 }
 
 // Withdrawal is a BGP withdrawal observed at an AS-X border router from an

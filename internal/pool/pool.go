@@ -1,0 +1,85 @@
+// Package pool provides the bounded worker pool used by the parallel
+// simulation and diagnosis pipeline. It is a small errgroup-style helper
+// over the standard library only: tasks are identified by index, results
+// are written to index-addressed slots by the callers, and the first error
+// (in index order, so runs are deterministic) cancels the remaining work.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Size resolves a requested parallelism level: n > 0 is taken as-is, and
+// anything else defaults to runtime.GOMAXPROCS(0).
+func Size(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// and waits for completion. With workers <= 1 it degrades to a plain
+// sequential loop, reproducing exactly the single-threaded behavior.
+//
+// Error handling is deterministic: every task's error is recorded in its
+// slot, and the lowest-index error is returned — regardless of which
+// worker hit it first. After any task fails, or ctx is cancelled, no new
+// tasks are started (in-flight ones run to completion). A nil ctx is
+// treated as context.Background().
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

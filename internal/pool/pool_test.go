@@ -1,0 +1,106 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 57
+		hits := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Run many times: whichever worker hits its error first, the reported
+	// error must always be the lowest-index one actually reached. Task 3
+	// always fails, so an error is guaranteed; any later failure (17) must
+	// never win over it.
+	for rep := 0; rep < 50; rep++ {
+		err := ForEach(context.Background(), 4, 8, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) && !errors.Is(err, errB) {
+			t.Fatalf("got %v", err)
+		}
+		if errors.Is(err, errB) {
+			// Only acceptable if task 3 never ran... but task 3 always
+			// runs before the pool drains with 4 workers over 8 tasks
+			// unless a failure stopped scheduling first. Task 7 failing
+			// can stop task 3 from being scheduled, so errB is legal only
+			// when task 3 did not run. We can't observe that here without
+			// extra state, so just accept both; the deterministic
+			// guarantee is exercised below with a single worker.
+			continue
+		}
+	}
+	// Sequential: strictly the first error in index order.
+	err := ForEach(context.Background(), 1, 8, func(i int) error {
+		if i == 3 {
+			return errA
+		}
+		if i == 7 {
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("sequential: got %v, want %v", err, errA)
+	}
+}
+
+func TestForEachStopsSchedulingAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	_ = ForEach(context.Background(), 2, 10_000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if got := ran.Load(); got == 10_000 {
+		t.Fatal("pool kept scheduling after a failure")
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 4, 100, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestSize(t *testing.T) {
+	if Size(4) != 4 {
+		t.Fatal("Size(4)")
+	}
+	if Size(0) < 1 || Size(-3) < 1 {
+		t.Fatal("Size must default to at least 1")
+	}
+}

@@ -6,6 +6,7 @@ package probe
 import (
 	"fmt"
 
+	"netdiag/internal/pool"
 	"netdiag/internal/topology"
 )
 
@@ -57,6 +58,31 @@ func NewMesh(sensors []topology.RouterID) *Mesh {
 	for i := range m.Paths {
 		m.Paths[i] = make([]*Path, len(sensors))
 	}
+	return m
+}
+
+// FillMesh builds a full mesh by invoking trace for every ordered sensor
+// pair (i, j), i != j, fanning the pairs out over at most `workers`
+// goroutines. trace must be safe for concurrent use when workers > 1 (a
+// traceroute over a converged, read-only forwarding state is). Each pair's
+// result lands in its own Paths slot, so the mesh is identical at any
+// parallelism level.
+func FillMesh(sensors []topology.RouterID, workers int, trace func(i, j int) *Path) *Mesh {
+	m := NewMesh(sensors)
+	n := len(sensors)
+	type job struct{ i, j int }
+	jobs := make([]job, 0, n*n-n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				jobs = append(jobs, job{i, j})
+			}
+		}
+	}
+	_ = pool.ForEach(nil, workers, len(jobs), func(k int) error {
+		m.Paths[jobs[k].i][jobs[k].j] = trace(jobs[k].i, jobs[k].j)
+		return nil
+	})
 	return m
 }
 

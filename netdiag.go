@@ -24,6 +24,8 @@
 package netdiag
 
 import (
+	"context"
+
 	"netdiag/internal/bgp"
 	"netdiag/internal/core"
 	"netdiag/internal/experiment"
@@ -83,21 +85,31 @@ type (
 	Prefix = bgp.Prefix
 )
 
-// Tomo runs the multi-AS Boolean tomography baseline (paper §2).
-func Tomo(m *Measurements) (*Result, error) { return core.Tomo(m) }
+// Tomo runs the multi-AS Boolean tomography baseline (paper §2). It is a
+// thin wrapper over New(WithAlgorithm(TomoAlgo)).
+func Tomo(m *Measurements) (*Result, error) {
+	return New(WithAlgorithm(TomoAlgo)).Diagnose(context.Background(), m)
+}
 
 // NDEdge runs NetDiagnoser with logical links and reroute information
-// (paper §3.1–3.2).
-func NDEdge(m *Measurements) (*Result, error) { return core.NDEdge(m) }
+// (paper §3.1–3.2). It is a thin wrapper over New(WithAlgorithm(NDEdgeAlgo)).
+func NDEdge(m *Measurements) (*Result, error) {
+	return New(WithAlgorithm(NDEdgeAlgo)).Diagnose(context.Background(), m)
+}
 
 // NDBgpIgp runs ND-edge augmented with IGP link-down events and BGP
-// withdrawals from the troubleshooter's AS (paper §3.3).
-func NDBgpIgp(m *Measurements, ri *RoutingInfo) (*Result, error) { return core.NDBgpIgp(m, ri) }
+// withdrawals from the troubleshooter's AS (paper §3.3). It is a thin
+// wrapper over New(WithAlgorithm(NDBgpIgpAlgo), WithRoutingInfo(ri)).
+func NDBgpIgp(m *Measurements, ri *RoutingInfo) (*Result, error) {
+	return New(WithAlgorithm(NDBgpIgpAlgo), WithRoutingInfo(ri)).Diagnose(context.Background(), m)
+}
 
 // NDLG runs the full NetDiagnoser with Looking-Glass support for
-// traceroute-blocking ASes (paper §3.4).
+// traceroute-blocking ASes (paper §3.4). It is a thin wrapper over
+// New(WithAlgorithm(NDLGAlgo), WithRoutingInfo(ri), WithLookingGlass(lg)).
 func NDLG(m *Measurements, ri *RoutingInfo, lg LookingGlass) (*Result, error) {
-	return core.NDLG(m, ri, lg)
+	return New(WithAlgorithm(NDLGAlgo), WithRoutingInfo(ri), WithLookingGlass(lg)).
+		Diagnose(context.Background(), m)
 }
 
 // Run executes a custom configuration of the diagnosis engine.
@@ -141,8 +153,10 @@ func GenerateResearch(seed int64) (*Research, error) {
 }
 
 // NewNetwork converges a simulated network announcing one prefix per
-// origin AS.
-func NewNetwork(t *Topology, origins []ASN) (*Network, error) { return netsim.New(t, origins) }
+// origin AS. Options (e.g. WithNetworkParallelism) tune the simulation.
+func NewNetwork(t *Topology, origins []ASN, opts ...NetworkOption) (*Network, error) {
+	return netsim.New(t, origins, opts...)
+}
 
 // NewLookingGlassRegistry builds a Looking Glass oracle over converged BGP
 // states (see internal/lookingglass).
