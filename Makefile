@@ -15,8 +15,14 @@ race:
 	$(GO) test -race ./...
 
 # Reduced-scale benchmark sweep, including the parallelism comparisons.
+# The results also land in BENCH_pipeline.json (machine-readable, for CI
+# diffing) via cmd/benchjson. The text output is captured first so a
+# failing `go test` fails the target instead of vanishing into a pipe.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) test -run xxx -bench . -benchtime 1x ./... > BENCH_pipeline.txt || (cat BENCH_pipeline.txt; rm -f BENCH_pipeline.txt; exit 1)
+	@cat BENCH_pipeline.txt
+	$(GO) run ./cmd/benchjson -o BENCH_pipeline.json < BENCH_pipeline.txt
+	@rm -f BENCH_pipeline.txt
 
 # The full verify loop: tier-1 (build + test) plus vet and the race
 # detector. Run before every commit.

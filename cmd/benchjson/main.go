@@ -1,0 +1,155 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report, so CI can diff benchmark runs without
+// scraping free text. It reads the benchmark output on stdin and writes a
+// JSON document to -o (default stdout):
+//
+//	go test -run xxx -bench . ./... | go run ./cmd/benchjson -o BENCH_pipeline.json
+//
+// Each entry carries the package (from the closing "ok <pkg> <time>" or
+// "pkg:" lines), the benchmark name with its -N GOMAXPROCS suffix split
+// off, iterations, ns/op, and the optional B/op and allocs/op columns.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	Package    string  `json:"package,omitempty"`
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("benchjson: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), *out)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{Benchmarks: []Entry{}}
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	// Benchmark lines precede their package's closing "ok <pkg> <time>"
+	// line, so entries are buffered per package and stamped on close.
+	var pending []int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg := strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			stamp(rep, &pending, pkg)
+		case strings.HasPrefix(line, "ok "):
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				stamp(rep, &pending, fields[1])
+			}
+		case strings.HasPrefix(line, "Benchmark"):
+			e, ok := parseBench(line)
+			if ok {
+				pending = append(pending, len(rep.Benchmarks))
+				rep.Benchmarks = append(rep.Benchmarks, e)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// stamp assigns pkg to every pending entry and clears the buffer.
+func stamp(rep *Report, pending *[]int, pkg string) {
+	for _, i := range *pending {
+		rep.Benchmarks[i].Package = pkg
+	}
+	*pending = (*pending)[:0]
+}
+
+// parseBench parses one "BenchmarkX-N  iters  ns/op [B/op allocs/op]" line.
+func parseBench(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[2] != "ns/op" && !hasUnit(fields, "ns/op") {
+		return Entry{}, false
+	}
+	var e Entry
+	e.Name = fields[0]
+	if i := strings.LastIndex(e.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(e.Name[i+1:]); err == nil {
+			e.Name, e.Procs = e.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e.Iterations = iters
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			ns, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Entry{}, false
+			}
+			e.NsPerOp = ns
+			seen = true
+		case "B/op":
+			if b, err := strconv.ParseInt(val, 10, 64); err == nil {
+				e.BytesPerOp = &b
+			}
+		case "allocs/op":
+			if a, err := strconv.ParseInt(val, 10, 64); err == nil {
+				e.AllocsPerOp = &a
+			}
+		}
+	}
+	return e, seen
+}
+
+func hasUnit(fields []string, unit string) bool {
+	for _, f := range fields {
+		if f == unit {
+			return true
+		}
+	}
+	return false
+}

@@ -19,6 +19,7 @@ import (
 
 	"netdiag/internal/experiment"
 	"netdiag/internal/pool"
+	"netdiag/internal/telemetry"
 )
 
 type figureFunc func(experiment.Config) (*experiment.Figure, error)
@@ -55,6 +56,7 @@ func main() {
 		out   = flag.String("out", "results", "directory for CSV output")
 		list  = flag.Bool("list", false, "list available figures and exit")
 		par   = flag.Int("parallelism", 1, "worker count for simulation and trials (0 = GOMAXPROCS); CSV output is identical at any setting")
+		debug = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. :6060) while figures run")
 	)
 	flag.Parse()
 
@@ -77,6 +79,16 @@ func main() {
 		cfg.Parallelism = pool.Size(0)
 	} else {
 		cfg.Parallelism = *par
+	}
+	if *debug != "" {
+		cfg.Telemetry = telemetry.New()
+		srv, err := telemetry.ServeDebug(*debug, cfg.Telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndsim: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("ndsim: debug server on http://%s/debug/vars and /debug/pprof\n", srv.Addr())
 	}
 	fmt.Printf("ndsim: seed=%d scale=1/%d (%d placements x %d failures per scenario, %d workers)\n\n",
 		*seed, *scale, cfg.Placements, cfg.FailuresPerPlacement, cfg.Parallelism)

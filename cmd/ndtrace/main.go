@@ -21,6 +21,7 @@ import (
 
 	"netdiag/internal/core"
 	"netdiag/internal/experiment"
+	"netdiag/internal/netsim"
 	"netdiag/internal/scenario"
 	"netdiag/internal/topology"
 )
@@ -33,6 +34,7 @@ func main() {
 		misconfig = flag.Bool("misconfig", false, "inject a BGP export-filter misconfiguration")
 		diagnose  = flag.Bool("diagnose", false, "run ND-bgpigp on the episode and print the hypothesis")
 		export    = flag.String("export", "", "write the episode as a scenario JSON file")
+		par       = flag.Int("parallelism", 1, "worker count for convergence and mesh probing (0 = GOMAXPROCS); output is identical at any setting")
 	)
 	flag.Parse()
 
@@ -45,7 +47,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	env, err := experiment.NewEnv(res, placed)
+	env, err := experiment.NewEnv(res, placed, netsim.WithParallelism(*par))
 	if err != nil {
 		fatal(err)
 	}

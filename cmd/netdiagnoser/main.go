@@ -17,6 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -31,6 +32,9 @@ func main() {
 		verbose = flag.Bool("v", false, "print per-link attribution detail")
 		par     = flag.Int("parallelism", 0, "diagnosis worker count (0 = GOMAXPROCS)")
 		timeout = flag.Duration("timeout", 0, "abort the diagnosis after this long (0 = no limit)")
+		debug   = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address during the diagnosis")
+		phases  = flag.Bool("phases", false, "print per-phase timing spans of the diagnosis")
+		logDbg  = flag.Bool("log", false, "emit structured debug logs (per diagnosis phase) to stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -52,6 +56,22 @@ func main() {
 	}
 
 	opts := []netdiag.DiagnoserOption{netdiag.WithParallelism(*par)}
+	if *debug != "" || *phases {
+		reg := netdiag.NewTelemetry()
+		opts = append(opts, netdiag.WithTelemetry(reg))
+		if *debug != "" {
+			srv, err := netdiag.ServeDebug(*debug, reg)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "netdiagnoser: debug server on http://%s/debug/vars and /debug/pprof\n", srv.Addr())
+		}
+	}
+	if *logDbg {
+		lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+		opts = append(opts, netdiag.WithLogger(lg))
+	}
 	switch strings.ToLower(*algo) {
 	case "tomo":
 		opts = append(opts, netdiag.WithAlgorithm(netdiag.TomoAlgo))
@@ -143,6 +163,16 @@ func main() {
 	}
 	if suspects := res.ASes(); len(suspects) > 0 {
 		fmt.Printf("suspect ASes: %v\n", suspects)
+	}
+	if *phases {
+		fmt.Println("phases:")
+		for _, s := range res.Telemetry {
+			if s.Iteration > 0 {
+				fmt.Printf("  %-12s #%-3d +%-12v %v\n", s.Name, s.Iteration, s.Start, s.Duration)
+			} else {
+				fmt.Printf("  %-12s      +%-12v %v\n", s.Name, s.Start, s.Duration)
+			}
+		}
 	}
 }
 

@@ -12,7 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"netdiag/internal/netsim"
+	"netdiag/internal/pool"
 	"netdiag/internal/scenario"
 	"netdiag/internal/topology"
 )
@@ -23,10 +26,12 @@ func main() {
 		seed   = flag.Int64("seed", 2007, "generator seed (research only)")
 		format = flag.String("format", "json", "output: json or dot")
 		stats  = flag.Bool("stats", false, "print summary statistics instead of a dump")
+		par    = flag.Int("parallelism", 1, "worker count for the -stats convergence check (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	var topo *topology.Topology
+	var origins []topology.ASN
 	switch *kind {
 	case "research":
 		res, err := topology.GenerateResearch(topology.DefaultResearchConfig(*seed))
@@ -34,10 +39,13 @@ func main() {
 			fatal(err)
 		}
 		topo = res.Topo
+		origins = res.Cores
 	case "fig1":
 		topo = topology.BuildFig1().Topo
+		origins = topo.ASNumbers()
 	case "fig2":
 		topo = topology.BuildFig2().Topo
+		origins = topo.ASNumbers()
 	default:
 		fatal(fmt.Errorf("unknown topology kind %q", *kind))
 	}
@@ -59,6 +67,15 @@ func main() {
 			len(topo.ASNumbers()), kinds[topology.Core], kinds[topology.Tier2], kinds[topology.Stub])
 		fmt.Printf("routers: %d\nlinks: %d (%d intra-AS, %d inter-AS)\n",
 			topo.NumRouters(), topo.NumLinks(), intra, inter)
+		// Sanity-check the generated topology actually converges: announce
+		// one prefix per origin AS and time the IGP+BGP fixpoint. The
+		// converged state is identical at any parallelism level.
+		start := time.Now()
+		if _, err := netsim.New(topo, origins, netsim.WithParallelism(*par)); err != nil {
+			fatal(fmt.Errorf("convergence check failed: %w", err))
+		}
+		fmt.Printf("convergence check: %d origin prefixes converged in %v (%d workers)\n",
+			len(origins), time.Since(start).Round(time.Millisecond), pool.Size(*par))
 		return
 	}
 

@@ -2,10 +2,12 @@ package netdiag
 
 import (
 	"context"
+	"log/slog"
 
 	"netdiag/internal/core"
 	"netdiag/internal/netsim"
 	"netdiag/internal/pool"
+	"netdiag/internal/telemetry"
 )
 
 // Algorithm names one of the paper's diagnosis algorithm variants. The zero
@@ -67,6 +69,8 @@ type Diagnoser struct {
 	ri     *RoutingInfo
 	lg     LookingGlass
 	par    int
+	tele   *telemetry.Registry
+	logger *slog.Logger
 }
 
 // DiagnoserOption configures a Diagnoser at construction time.
@@ -100,6 +104,23 @@ func WithLookingGlass(lg LookingGlass) DiagnoserOption {
 // sequential execution. The hypothesis set is identical at any setting.
 func WithParallelism(n int) DiagnoserOption {
 	return func(d *Diagnoser) { d.par = pool.Size(n) }
+}
+
+// WithTelemetry attaches a telemetry registry to the session: every
+// Diagnose call bumps "diagnose.runs", feeds per-phase latency histograms
+// ("diagnose.phase.<name>_ns") and the scoring pool metrics, and returns
+// its phase spans in Result.Telemetry. The default (nil) disables all of
+// it at zero cost; telemetry never changes the hypothesis. Publish the
+// registry with ServeDebug to watch a live session.
+func WithTelemetry(r *Telemetry) DiagnoserOption {
+	return func(d *Diagnoser) { d.tele = r }
+}
+
+// WithLogger attaches a structured logger: each Diagnose call emits one
+// debug record per phase and a summary record, and populates
+// Result.Telemetry like WithTelemetry does. Nil (the default) logs nothing.
+func WithLogger(lg *slog.Logger) DiagnoserOption {
+	return func(d *Diagnoser) { d.logger = lg }
 }
 
 // New builds a diagnosis session from functional options:
@@ -138,6 +159,12 @@ func (d *Diagnoser) Diagnose(ctx context.Context, m *Measurements) (*Result, err
 	}
 	if d.lg != nil {
 		o.LG = d.lg
+	}
+	if d.tele != nil {
+		o.Telemetry = d.tele
+	}
+	if d.logger != nil {
+		o.Logger = d.logger
 	}
 	o.Parallelism = d.par
 	return core.RunCtx(ctx, m, o)

@@ -24,8 +24,48 @@ import (
 
 	"netdiag/internal/igp"
 	"netdiag/internal/pool"
+	"netdiag/internal/telemetry"
 	"netdiag/internal/topology"
 )
+
+// Metrics instruments the convergence pipeline: the per-prefix fixpoint
+// iteration counts, a convergence counter, and the pool-layer task
+// metrics of the per-prefix fan-out. A nil *Metrics disables everything.
+type Metrics struct {
+	// FixpointRounds observes the synchronous rounds each prefix took.
+	FixpointRounds *telemetry.Histogram
+	// PrefixesConverged counts successfully converged prefixes.
+	PrefixesConverged *telemetry.Counter
+	// Pool carries the shared pool-layer task metrics.
+	Pool *pool.Metrics
+}
+
+// NewMetrics returns the BGP metrics of a registry (nil registry -> nil).
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		FixpointRounds:    r.Histogram("bgp.fixpoint_rounds", telemetry.CountBuckets),
+		PrefixesConverged: r.Counter("bgp.prefixes_converged"),
+		Pool:              pool.NewMetrics(r),
+	}
+}
+
+func (m *Metrics) prefixConverged(rounds int) {
+	if m == nil {
+		return
+	}
+	m.PrefixesConverged.Inc()
+	m.FixpointRounds.Observe(int64(rounds))
+}
+
+func (m *Metrics) poolMetrics() *pool.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.Pool
+}
 
 // Prefix names a destination prefix. The simulation originates one prefix
 // per sensor-hosting AS (see netsim), which is all the diagnoser needs.
@@ -118,6 +158,9 @@ type Config struct {
 	// Values <= 1 converge sequentially (the default); the result is the
 	// same either way.
 	Parallelism int
+	// Metrics receives convergence telemetry; nil (the default) disables
+	// it. Telemetry never affects the converged state.
+	Metrics *Metrics
 }
 
 // session is one live eBGP session endpoint as seen from Local.
@@ -177,14 +220,15 @@ func Compute(cfg Config) (*State, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	err := pool.ForEach(nil, workers, len(s.prefixes), func(i int) error {
+	err := pool.ForEachM(nil, workers, len(s.prefixes), func(i int) error {
 		ps, err := s.convergePrefix(s.prefixes[i], maxRounds)
 		if err != nil {
 			return err
 		}
+		cfg.Metrics.prefixConverged(ps.rounds)
 		states[i] = ps
 		return nil
-	})
+	}, cfg.Metrics.poolMetrics())
 	if err != nil {
 		return nil, err
 	}

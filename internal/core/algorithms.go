@@ -2,9 +2,12 @@ package core
 
 import (
 	"context"
+	"log/slog"
 	"sort"
+	"time"
 
 	"netdiag/internal/pool"
+	"netdiag/internal/telemetry"
 	"netdiag/internal/topology"
 )
 
@@ -45,6 +48,15 @@ type Options struct {
 	// identical at any setting because scores land in per-candidate slots
 	// and selection scans them in deterministic order.
 	Parallelism int
+	// Telemetry receives the run's metrics: the "diagnose.runs" counter,
+	// per-phase latency histograms ("diagnose.phase.<name>_ns") and the
+	// pool metrics of the candidate-scoring fan-out. Setting it (or Logger)
+	// also populates Result.Telemetry with the run's phase spans. Nil (the
+	// default) disables all of it; telemetry never changes the hypothesis.
+	Telemetry *telemetry.Registry
+	// Logger, when non-nil, receives a debug-level record per phase and a
+	// summary per run, and enables Result.Telemetry like Telemetry does.
+	Logger *slog.Logger
 }
 
 // Tomo runs the multi-AS Boolean tomography baseline of §2.
@@ -101,6 +113,11 @@ type engine struct {
 	// before path contains it (clustering rule ii and diagnosability).
 	linkPaths map[Link]map[pair]bool
 
+	// trace is non-nil only when the run is observed (Options.Telemetry or
+	// Options.Logger); every phase helper is a no-op otherwise.
+	trace *telemetry.Trace
+	poolM *pool.Metrics
+
 	failSets []*obsSet
 	rerSets  []*obsSet
 	working  linkSet
@@ -125,9 +142,6 @@ func RunCtx(ctx context.Context, m *Measurements, opts Options) (*Result, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
 	if opts.FailureWeight == 0 {
 		opts.FailureWeight = 1
 	}
@@ -151,18 +165,38 @@ func RunCtx(ctx context.Context, m *Measurements, opts Options) (*Result, error)
 		cand:       linkSet{},
 		extraCover: map[Link][]Link{},
 	}
+	if opts.Telemetry != nil || opts.Logger != nil {
+		e.trace = telemetry.NewTrace()
+		if opts.Telemetry != nil {
+			opts.Telemetry.Counter("diagnose.runs").Inc()
+			e.poolM = pool.NewMetrics(opts.Telemetry)
+		}
+	}
+
+	end := e.phase("validate")
+	err := m.Validate()
+	end()
+	if err != nil {
+		return nil, err
+	}
+
 	work := m
 	if opts.LogicalLinks {
+		end = e.phase("expand")
 		work = e.exp.expandAll(m)
+		end()
 	}
 	e.collectNodes(work)
 	if opts.LG != nil {
 		e.uhTags = mapUHs(work, opts.LG)
 	}
+	end = e.phase("build_sets")
 	e.buildSets(work)
+	end()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	end = e.phase("candidates")
 	e.exonerateWithdrawalEdges()
 	e.buildCandidates()
 	e.addPhysParents()
@@ -170,10 +204,13 @@ func RunCtx(ctx context.Context, m *Measurements, opts Options) (*Result, error)
 	if opts.LG != nil {
 		e.buildClusters()
 	}
+	end()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	end = e.phase("greedy")
 	iters, err := e.greedy()
+	end()
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +222,45 @@ func RunCtx(ctx context.Context, m *Measurements, opts Options) (*Result, error)
 		}
 	}
 	res.Hypothesis = e.attribute()
+	res.Telemetry = e.trace.Spans()
+	if opts.Logger != nil {
+		opts.Logger.Debug("diagnose done",
+			"hypothesis", len(res.Hypothesis),
+			"iterations", res.Iterations,
+			"unexplained", res.UnexplainedFailures)
+	}
 	return res, nil
+}
+
+var noopEnd = func() {}
+
+// phase opens a named span of the run; the returned func closes it, feeds
+// the "diagnose.phase.<name>_ns" histogram and logs the phase at debug
+// level. On an unobserved run it does nothing and never reads the clock.
+func (e *engine) phase(name string) func() { return e.phaseIter(name, 0) }
+
+// phaseIter is phase for one iteration of a repeated phase (iter >= 1).
+func (e *engine) phaseIter(name string, iter int) func() {
+	if e.trace == nil {
+		return noopEnd
+	}
+	endSpan := e.trace.StartIteration(name, iter)
+	start := time.Now()
+	return func() {
+		endSpan()
+		d := time.Since(start)
+		if e.opts.Telemetry != nil {
+			e.opts.Telemetry.Histogram("diagnose.phase."+name+"_ns", telemetry.DurationBuckets).
+				Observe(int64(d))
+		}
+		if e.opts.Logger != nil {
+			if iter > 0 {
+				e.opts.Logger.Debug("diagnose phase", "phase", name, "iteration", iter, "duration", d)
+			} else {
+				e.opts.Logger.Debug("diagnose phase", "phase", name, "duration", d)
+			}
+		}
+	}
 }
 
 func (e *engine) collectNodes(m *Measurements) {
@@ -470,14 +545,15 @@ func (e *engine) greedy() (int, error) {
 			return iters, nil
 		}
 		iters++
+		endIter := e.phaseIter("greedy_iter", iters)
 
 		cands := e.cand.sorted()
 		scores := make([]float64, len(cands))
-		_ = pool.ForEach(e.ctx, e.workers, len(cands), func(i int) error {
+		_ = pool.ForEachM(e.ctx, e.workers, len(cands), func(i int) error {
 			f, r := e.coverCounts(cands[i])
 			scores[i] = e.opts.FailureWeight*float64(f) + e.opts.RerouteWeight*float64(r)
 			return nil
-		})
+		}, e.poolM)
 		best := 0.0
 		var bestLinks []Link
 		for i, l := range cands {
@@ -491,6 +567,7 @@ func (e *engine) greedy() (int, error) {
 			}
 		}
 		if best == 0 {
+			endIter()
 			return iters, nil // remaining sets are unexplainable
 		}
 		for _, l := range bestLinks {
@@ -501,6 +578,7 @@ func (e *engine) greedy() (int, error) {
 				e.explain(cl)
 			}
 		}
+		endIter()
 	}
 }
 

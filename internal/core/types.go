@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"netdiag/internal/telemetry"
 	"netdiag/internal/topology"
 )
 
@@ -183,6 +184,11 @@ type Result struct {
 	UnexplainedFailures int
 	// Iterations is the number of greedy rounds taken.
 	Iterations int
+	// Telemetry holds the timed phase spans of this run (validate, expand,
+	// build_sets, candidates, greedy, and one greedy_iter span per round).
+	// It is populated only when the run was configured with a telemetry
+	// registry or logger (Options.Telemetry / Options.Logger); otherwise nil.
+	Telemetry []telemetry.Span
 }
 
 // PhysLinks returns the deduplicated physical links of the hypothesis,

@@ -2,9 +2,17 @@ package experiment
 
 import (
 	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"netdiag/internal/core"
+	"netdiag/internal/telemetry"
+	"netdiag/internal/topology"
 )
 
 // csvBytes runs the figure at the given parallelism and returns every CSV
@@ -15,6 +23,13 @@ func csvBytes(t *testing.T, fn func(Config) (*Figure, error), seed int64, par in
 	cfg.Placements = 2
 	cfg.FailuresPerPlacement = 6
 	cfg.Parallelism = par
+	return csvBytesCfg(t, fn, cfg)
+}
+
+// csvBytesCfg runs the figure under an explicit config and returns every
+// CSV file it writes, keyed by file name.
+func csvBytesCfg(t *testing.T, fn func(Config) (*Figure, error), cfg Config) map[string][]byte {
+	t.Helper()
 	fig, err := fn(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -75,5 +90,113 @@ func TestParallelismCSVDeterminism(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestTelemetryCSVDeterminism is the no-perturbation acceptance check for
+// the telemetry layer: attaching a registry to an experiment run must leave
+// every figure CSV byte-identical, while the registry itself records the
+// pipeline's activity.
+func TestTelemetryCSVDeterminism(t *testing.T) {
+	figs := []struct {
+		name string
+		fn   func(Config) (*Figure, error)
+	}{
+		{"fig5", Figure5},
+		{"fig7", Figure7},
+	}
+	for _, f := range figs {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(7707)
+			cfg.Placements = 2
+			cfg.FailuresPerPlacement = 6
+			cfg.Parallelism = 4
+			plain := csvBytesCfg(t, f.fn, cfg)
+
+			cfg.Telemetry = telemetry.New()
+			observed := csvBytesCfg(t, f.fn, cfg)
+
+			if len(plain) != len(observed) {
+				t.Fatalf("file sets differ: %d files without telemetry, %d with", len(plain), len(observed))
+			}
+			for name, want := range plain {
+				got, ok := observed[name]
+				if !ok {
+					t.Fatalf("telemetry run missing %s", name)
+				}
+				if !bytes.Equal(want, got) {
+					t.Errorf("%s differs with telemetry attached:\n--- without ---\n%s\n--- with ---\n%s",
+						name, want, got)
+				}
+			}
+			snap := cfg.Telemetry.Snapshot()
+			if snap.Counters["netsim.reconverges"] == 0 {
+				t.Error("telemetry run recorded no netsim.reconverges")
+			}
+			if snap.Counters["pool.tasks_started"] == 0 {
+				t.Error("telemetry run recorded no pool.tasks_started")
+			}
+			if f.name == "fig7" && snap.Counters["experiment.trials_run"] == 0 {
+				t.Error("telemetry run recorded no experiment.trials_run")
+			}
+		})
+	}
+}
+
+// TestTelemetryHypothesisDeterminism asserts the rendered hypothesis of a
+// diagnosis is byte-identical with and without telemetry and debug logging
+// attached — observation must never steer the greedy cover.
+func TestTelemetryHypothesisDeterminism(t *testing.T) {
+	res, err := topology.GenerateResearch(topology.DefaultResearchConfig(7707))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	sensors, _, err := PlaceSensors(res, PlaceRandomStubs, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(res, sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asx := res.Cores[0]
+	var td *TrialData
+	for td == nil {
+		f, ok := env.SampleLinkFault(rng, 3)
+		if !ok {
+			t.Fatal("no faults to sample")
+		}
+		var err error
+		td, err = env.RunTrial(f, asx, nil, nil)
+		if err != nil && err != ErrNoImpact {
+			t.Fatal(err)
+		}
+	}
+
+	plain, err := core.Run(td.Meas, bgpigpOpts(td))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bgpigpOpts(td)
+	opts.Telemetry = telemetry.New()
+	opts.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	observed, err := core.Run(td.Meas, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []byte(fmt.Sprintf("%v %d %d", plain.Hypothesis, plain.Iterations, plain.UnexplainedFailures))
+	got := []byte(fmt.Sprintf("%v %d %d", observed.Hypothesis, observed.Iterations, observed.UnexplainedFailures))
+	if !bytes.Equal(want, got) {
+		t.Fatalf("hypothesis differs with telemetry attached:\nwithout %s\nwith    %s", want, got)
+	}
+	if len(observed.Telemetry) == 0 {
+		t.Error("observed run returned no phase spans")
+	}
+	if len(plain.Telemetry) != 0 {
+		t.Error("unobserved run returned phase spans")
 	}
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"netdiag/internal/core"
 	"netdiag/internal/metrics"
 	"netdiag/internal/netsim"
 	"netdiag/internal/pool"
+	"netdiag/internal/telemetry"
 	"netdiag/internal/topology"
 )
 
@@ -34,6 +36,12 @@ type Config struct {
 	// Parallel is the legacy switch: when Parallelism is 0, Parallel
 	// selects between GOMAXPROCS workers (true) and sequential (false).
 	Parallel bool
+	// Telemetry, when non-nil, receives the whole pipeline's metrics:
+	// per-trial latency ("experiment.trial_ns") and trial counters here,
+	// plus the netsim/igp/bgp/probe/pool metrics of every environment the
+	// run converges. Telemetry never changes figure output — the
+	// determinism tests pin CSV byte-identity with and without it.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's experiment scale.
@@ -139,6 +147,49 @@ type placementRun struct {
 	rng              *rand.Rand
 }
 
+// scenarioMetrics carries the harness-level telemetry of one runScenario
+// call; nil disables everything, including the per-trial clock reads.
+type scenarioMetrics struct {
+	trialNS         *telemetry.Histogram
+	trialsRun       *telemetry.Counter
+	trialsImpactful *telemetry.Counter
+	pool            *pool.Metrics
+}
+
+func newScenarioMetrics(r *telemetry.Registry) *scenarioMetrics {
+	if r == nil {
+		return nil
+	}
+	return &scenarioMetrics{
+		trialNS:         r.Histogram("experiment.trial_ns", telemetry.DurationBuckets),
+		trialsRun:       r.Counter("experiment.trials_run"),
+		trialsImpactful: r.Counter("experiment.trials_impactful"),
+		pool:            pool.NewMetrics(r),
+	}
+}
+
+func (m *scenarioMetrics) poolMetrics() *pool.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.pool
+}
+
+// trial times and counts one RunTrial invocation.
+func (m *scenarioMetrics) trial(run func() (*TrialData, error)) (*TrialData, error) {
+	if m == nil {
+		return run()
+	}
+	start := time.Now()
+	td, err := run()
+	m.trialNS.Observe(int64(time.Since(start)))
+	m.trialsRun.Inc()
+	if err == nil {
+		m.trialsImpactful.Inc()
+	}
+	return td, err
+}
+
 // runScenario executes cfg.Placements placements of the hooks' scenario on
 // one generated research topology, delivering impactful trials to v.
 //
@@ -158,17 +209,19 @@ func runScenario(cfg Config, h hooks, v visit) error {
 		h.asx = func(env *Env) topology.ASN { return env.Res.Cores[0] }
 	}
 	workers := cfg.parallelism()
+	sm := newScenarioMetrics(cfg.Telemetry)
 
 	// Phase 1: build every placement's environment (the expensive
 	// full-network convergence + pre-failure mesh) on the pool.
 	runs := make([]*placementRun, cfg.Placements)
-	err = pool.ForEach(nil, workers, cfg.Placements, func(p int) error {
+	err = pool.ForEachM(nil, workers, cfg.Placements, func(p int) error {
 		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(p)*7919))
 		sensors, _, err := PlaceSensors(res, h.placement, cfg.NumSensors, rng)
 		if err != nil {
 			return err
 		}
-		env, err := NewEnv(res, sensors, netsim.WithParallelism(workers))
+		env, err := NewEnv(res, sensors,
+			netsim.WithParallelism(workers), netsim.WithTelemetry(cfg.Telemetry))
 		if err != nil {
 			return err
 		}
@@ -182,7 +235,7 @@ func runScenario(cfg Config, h hooks, v visit) error {
 		}
 		runs[p] = pr
 		return nil
-	})
+	}, sm.poolMetrics())
 	if err != nil {
 		return err
 	}
@@ -211,8 +264,10 @@ func runScenario(cfg Config, h hooks, v visit) error {
 				wave = append(wave, f)
 			}
 			results := make([]*TrialData, len(wave))
-			err := pool.ForEach(nil, workers, len(wave), func(i int) error {
-				td, err := pr.env.RunTrial(wave[i], pr.asx, pr.blocked, pr.lgAvail)
+			err := pool.ForEachM(nil, workers, len(wave), func(i int) error {
+				td, err := sm.trial(func() (*TrialData, error) {
+					return pr.env.RunTrial(wave[i], pr.asx, pr.blocked, pr.lgAvail)
+				})
 				if err == ErrNoImpact {
 					return nil
 				}
@@ -221,7 +276,7 @@ func runScenario(cfg Config, h hooks, v visit) error {
 				}
 				results[i] = td
 				return nil
-			})
+			}, sm.poolMetrics())
 			if err != nil {
 				return err
 			}
@@ -307,7 +362,7 @@ func Figure5(cfg Config) (*Figure, error) {
 	// them out and accumulate in index order so the averages (and their
 	// floating-point rounding) match the sequential run exactly.
 	diag := make([]float64, len(kinds)*len(ns)*reps)
-	err = pool.ForEach(nil, cfg.parallelism(), len(diag), func(t int) error {
+	err = pool.ForEachM(nil, cfg.parallelism(), len(diag), func(t int) error {
 		rep := t % reps
 		n := ns[(t/reps)%len(ns)]
 		kind := kinds[t/(reps*len(ns))]
@@ -316,13 +371,13 @@ func Figure5(cfg Config) (*Figure, error) {
 		if err != nil {
 			return err
 		}
-		env, err := NewEnv(res, sensors)
+		env, err := NewEnv(res, sensors, netsim.WithTelemetry(cfg.Telemetry))
 		if err != nil {
 			return err
 		}
 		diag[t] = core.Diagnosability(env.Measurements().Before)
 		return nil
-	})
+	}, pool.NewMetrics(cfg.Telemetry))
 	if err != nil {
 		return nil, err
 	}

@@ -318,7 +318,7 @@ func (e *Env) RunTrial(f Fault, asx topology.ASN, blocked map[topology.ASN]bool,
 		ASX:          asx,
 		IGPDownLinks: AdaptIGPDowns(net, asx),
 		Withdrawals: AdaptWithdrawals(topo,
-			netsim.Withdrawals(topo, e.BeforeBGP, net.BGP(), asx), e.SensorASes),
+			net.ObserveWithdrawals(e.BeforeBGP, asx), e.SensorASes),
 	}
 	td.LG = lookingglass.New(net.BGP(), e.BeforeBGP, lgAvail, asx, e.Prefixes)
 	td.FailedLinks, td.FailedASes = e.GroundTruth(f)

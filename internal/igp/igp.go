@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"netdiag/internal/pool"
+	"netdiag/internal/telemetry"
 	"netdiag/internal/topology"
 )
 
@@ -55,11 +56,33 @@ func New(topo *topology.Topology, isUp func(topology.LinkID) bool) *State {
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]map[topology.RouterID]map[topology.RouterID]int
+
+	// Telemetry handles; nil (no-op) unless Instrument was called.
+	hits, misses *telemetry.Counter
+	size         *telemetry.Gauge
 }
 
 // NewCache returns an empty SPF cache.
 func NewCache() *Cache {
 	return &Cache{entries: map[string]map[topology.RouterID]map[topology.RouterID]int{}}
+}
+
+// Instrument attaches cache telemetry to a registry: the counters
+// "igp.spf_cache_hits"/"igp.spf_cache_misses", the entry-count gauge
+// "igp.spf_cache_entries", and the derived "igp.spf_cache_hit_ratio".
+// Call before the cache is shared across goroutines; a nil registry is a
+// no-op. Returns the cache for chaining.
+func (c *Cache) Instrument(r *telemetry.Registry) *Cache {
+	if r == nil {
+		return c
+	}
+	c.hits = r.Counter("igp.spf_cache_hits")
+	c.misses = r.Counter("igp.spf_cache_misses")
+	c.size = r.Gauge("igp.spf_cache_entries")
+	r.Derive("igp.spf_cache_hit_ratio", func(s telemetry.Snapshot) float64 {
+		return telemetry.Ratio(s.Counters["igp.spf_cache_hits"], s.Counters["igp.spf_cache_misses"])
+	})
+	return c
 }
 
 // Len reports the number of cached (AS, failed-link-set) entries.
@@ -124,8 +147,10 @@ func (s *State) asTables(asn topology.ASN, cache *Cache) map[topology.RouterID]m
 		hit, ok := cache.entries[key]
 		cache.mu.Unlock()
 		if ok {
+			cache.hits.Inc()
 			return hit
 		}
+		cache.misses.Inc()
 	}
 	tables := make(map[topology.RouterID]map[topology.RouterID]int)
 	for _, src := range s.topo.AS(asn).Routers {
@@ -134,6 +159,7 @@ func (s *State) asTables(asn topology.ASN, cache *Cache) map[topology.RouterID]m
 	if cache != nil {
 		cache.mu.Lock()
 		cache.entries[key] = tables
+		cache.size.Set(int64(len(cache.entries)))
 		cache.mu.Unlock()
 	}
 	return tables

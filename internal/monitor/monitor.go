@@ -8,6 +8,7 @@ package monitor
 
 import (
 	"netdiag/internal/probe"
+	"netdiag/internal/telemetry"
 )
 
 // Config parameterizes the detector.
@@ -16,6 +17,10 @@ type Config struct {
 	// unreachable before an alarm fires. Zero means 3, a conservative
 	// default for the paper's "several successive measurements".
 	Confirm int
+	// Telemetry receives the detector counters ("monitor.rounds_observed",
+	// "monitor.alarms_fired", "monitor.transients_suppressed"); nil (the
+	// default) disables them. Telemetry never affects detection.
+	Telemetry *telemetry.Registry
 }
 
 // Alarm reports a confirmed unreachability event, carrying the two meshes
@@ -42,6 +47,10 @@ type Detector struct {
 	// alarmed suppresses repeated alarms for one ongoing event until the
 	// mesh fully recovers.
 	alarmed bool
+
+	rounds     *telemetry.Counter
+	alarms     *telemetry.Counter
+	transients *telemetry.Counter
 }
 
 // New returns a detector.
@@ -49,7 +58,13 @@ func New(cfg Config) *Detector {
 	if cfg.Confirm <= 0 {
 		cfg.Confirm = 3
 	}
-	return &Detector{cfg: cfg, streak: map[[2]int]int{}}
+	d := &Detector{cfg: cfg, streak: map[[2]int]int{}}
+	if r := cfg.Telemetry; r != nil {
+		d.rounds = r.Counter("monitor.rounds_observed")
+		d.alarms = r.Counter("monitor.alarms_fired")
+		d.transients = r.Counter("monitor.transients_suppressed")
+	}
+	return d
 }
 
 // Round returns the number of observed measurement rounds.
@@ -64,7 +79,17 @@ func (d *Detector) Baseline() *probe.Mesh { return d.baseline }
 // rounds (including this one) and no alarm is already outstanding.
 func (d *Detector) Observe(m *probe.Mesh) *Alarm {
 	d.round++
+	d.rounds.Inc()
 	if !m.AnyFailed() {
+		// Any streak that ends before confirming was a transient the
+		// detector filtered out (link flap, routing convergence).
+		if !d.alarmed {
+			for _, n := range d.streak {
+				if n < d.cfg.Confirm {
+					d.transients.Inc()
+				}
+			}
+		}
 		d.baseline = m
 		d.streak = map[[2]int]int{}
 		d.alarmed = false
@@ -88,9 +113,13 @@ func (d *Detector) Observe(m *probe.Mesh) *Alarm {
 			}
 		}
 	}
-	// Pairs that recovered this round lose their streak.
-	for key := range d.streak {
+	// Pairs that recovered this round lose their streak; one that never
+	// reached the confirmation threshold was a suppressed transient.
+	for key, n := range d.streak {
 		if !seen[key] {
+			if n < d.cfg.Confirm {
+				d.transients.Inc()
+			}
 			delete(d.streak, key)
 		}
 	}
@@ -99,6 +128,7 @@ func (d *Detector) Observe(m *probe.Mesh) *Alarm {
 		return nil
 	}
 	d.alarmed = true
+	d.alarms.Inc()
 	return &Alarm{
 		Round:       d.round,
 		Baseline:    d.baseline,

@@ -8,11 +8,13 @@ package netsim
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"netdiag/internal/bgp"
 	"netdiag/internal/igp"
 	"netdiag/internal/pool"
 	"netdiag/internal/probe"
+	"netdiag/internal/telemetry"
 	"netdiag/internal/topology"
 )
 
@@ -36,10 +38,62 @@ type Network struct {
 
 	parallelism int
 	spfCache    *igp.Cache
+	tele        *telemetry.Registry
+	met         *simMetrics
 
 	igp       *igp.State
 	bgp       *bgp.State
 	converged bool
+}
+
+// simMetrics holds the simulator-level telemetry handles. A nil *simMetrics
+// disables all of it, including the clock reads around the phases.
+type simMetrics struct {
+	reconverges *telemetry.Counter
+	spfNS       *telemetry.Histogram
+	bgpNS       *telemetry.Histogram
+	meshNS      *telemetry.Histogram
+	withdrawals *telemetry.Counter
+	bgpM        *bgp.Metrics
+	probeM      *probe.Metrics
+}
+
+func newSimMetrics(r *telemetry.Registry) *simMetrics {
+	if r == nil {
+		return nil
+	}
+	return &simMetrics{
+		reconverges: r.Counter("netsim.reconverges"),
+		spfNS:       r.Histogram("netsim.phase.spf_ns", telemetry.DurationBuckets),
+		bgpNS:       r.Histogram("netsim.phase.bgp_ns", telemetry.DurationBuckets),
+		meshNS:      r.Histogram("netsim.phase.mesh_ns", telemetry.DurationBuckets),
+		withdrawals: r.Counter("bgp.withdrawals_seen"),
+		bgpM:        bgp.NewMetrics(r),
+		probeM:      probe.NewMetrics(r),
+	}
+}
+
+// phaseStart returns the clock reading a later phase observation needs,
+// without touching the clock when telemetry is off.
+func (m *simMetrics) phaseStart() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (m *simMetrics) bgpMetrics() *bgp.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.bgpM
+}
+
+func (m *simMetrics) probeMetrics() *probe.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.probeM
 }
 
 // Option configures a Network at construction time.
@@ -62,6 +116,16 @@ func WithSPFCache(c *igp.Cache) Option {
 	return func(net *Network) { net.spfCache = c }
 }
 
+// WithTelemetry attaches a telemetry registry: convergence-phase latency
+// histograms ("netsim.phase.{spf,bgp,mesh}_ns"), the "netsim.reconverges"
+// and "bgp.withdrawals_seen" counters, and the bgp/probe/pool layer metrics
+// of everything the network drives. An attached SPF cache is instrumented
+// too. A nil registry (the default) disables all of it — telemetry never
+// changes routing or measurement results.
+func WithTelemetry(r *telemetry.Registry) Option {
+	return func(net *Network) { net.tele = r }
+}
+
 // New builds a network announcing one prefix per AS in originASes and
 // converges it.
 func New(topo *topology.Topology, originASes []topology.ASN, opts ...Option) (*Network, error) {
@@ -74,6 +138,12 @@ func New(topo *topology.Topology, originASes []topology.ASN, opts ...Option) (*N
 	}
 	for _, o := range opts {
 		o(n)
+	}
+	if n.tele != nil {
+		n.met = newSimMetrics(n.tele)
+		if n.spfCache != nil {
+			n.spfCache.Instrument(n.tele)
+		}
 	}
 	for i := range n.linkUp {
 		n.linkUp[i] = true
@@ -106,6 +176,8 @@ func (n *Network) Fork() *Network {
 		origins:     n.origins,
 		parallelism: n.parallelism,
 		spfCache:    n.spfCache,
+		tele:        n.tele,
+		met:         n.met,
 		igp:         n.igp,
 		bgp:         n.bgp,
 		converged:   n.converged,
@@ -172,7 +244,12 @@ func (n *Network) ClearFaults() {
 // Reconverge recomputes IGP and BGP state for the current fault set.
 func (n *Network) Reconverge() error {
 	isUp := n.LinkIsUp
+	start := n.met.phaseStart()
 	n.igp = igp.NewCached(n.topo, isUp, n.spfCache, n.parallelism)
+	if n.met != nil {
+		n.met.spfNS.Observe(int64(time.Since(start)))
+		start = time.Now()
+	}
 	st, err := bgp.Compute(bgp.Config{
 		Topo:        n.topo,
 		IGP:         n.igp,
@@ -181,9 +258,14 @@ func (n *Network) Reconverge() error {
 		Origins:     n.origins,
 		Filters:     n.filters,
 		Parallelism: n.parallelism,
+		Metrics:     n.met.bgpMetrics(),
 	})
 	if err != nil {
 		return err
+	}
+	if n.met != nil {
+		n.met.bgpNS.Observe(int64(time.Since(start)))
+		n.met.reconverges.Inc()
 	}
 	n.bgp = st
 	n.converged = true
@@ -356,9 +438,14 @@ func (n *Network) Mesh(sensors []topology.RouterID) *probe.Mesh {
 	if !n.converged {
 		panic("netsim: Mesh on unconverged network")
 	}
-	return probe.FillMesh(sensors, n.parallelism, func(i, j int) *probe.Path {
+	start := n.met.phaseStart()
+	m := probe.FillMeshM(sensors, n.parallelism, func(i, j int) *probe.Path {
 		return n.Traceroute(sensors[i], sensors[j])
-	})
+	}, n.met.probeMetrics())
+	if n.met != nil {
+		n.met.meshNS.Observe(int64(time.Since(start)))
+	}
+	return m
 }
 
 // Withdrawal is a BGP withdrawal observed at an AS-X border router from an
@@ -405,6 +492,17 @@ func Withdrawals(topo *topology.Topology, before, after *bgp.State, asx topology
 		return a.Prefix < b.Prefix
 	})
 	return out
+}
+
+// ObserveWithdrawals returns the withdrawals AS-X observed between a prior
+// converged state and the network's current one (see Withdrawals), counting
+// them under "bgp.withdrawals_seen" when telemetry is attached.
+func (n *Network) ObserveWithdrawals(before *bgp.State, asx topology.ASN) []Withdrawal {
+	ws := Withdrawals(n.topo, before, n.bgp, asx)
+	if n.met != nil {
+		n.met.withdrawals.Add(int64(len(ws)))
+	}
+	return ws
 }
 
 // IGPLinkDowns returns the failed intra-AS links of asx — the "link down"

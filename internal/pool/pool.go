@@ -10,6 +10,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"netdiag/internal/telemetry"
 )
 
 // Size resolves a requested parallelism level: n > 0 is taken as-is, and
@@ -19,6 +22,46 @@ func Size(n int) int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// Metrics instruments the pool layer: how many tasks were started and
+// completed, and how long each task waited between submission (the
+// ForEachM call) and the moment a worker picked it up. A nil *Metrics
+// disables instrumentation entirely — no clock reads, no atomics.
+type Metrics struct {
+	Started   *telemetry.Counter
+	Completed *telemetry.Counter
+	QueueWait *telemetry.Histogram
+}
+
+// NewMetrics returns the pool metrics of a registry (get-or-create under
+// the canonical "pool.*" names, so every pool user of one registry shares
+// the same counters). Returns nil on a nil registry.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Started:   r.Counter("pool.tasks_started"),
+		Completed: r.Counter("pool.tasks_completed"),
+		QueueWait: r.Histogram("pool.queue_wait_ns", telemetry.DurationBuckets),
+	}
+}
+
+// taskStarted records a pickup; enqueued is the ForEachM submission time.
+func (m *Metrics) taskStarted(enqueued time.Time) {
+	if m == nil {
+		return
+	}
+	m.Started.Inc()
+	m.QueueWait.Observe(int64(time.Since(enqueued)))
+}
+
+func (m *Metrics) taskCompleted() {
+	if m == nil {
+		return
+	}
+	m.Completed.Inc()
 }
 
 // ForEach runs fn(i) for every i in [0, n) on at most `workers` goroutines
@@ -31,11 +74,22 @@ func Size(n int) int {
 // tasks are started (in-flight ones run to completion). A nil ctx is
 // treated as context.Background().
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachM(ctx, workers, n, fn, nil)
+}
+
+// ForEachM is ForEach with pool telemetry: each task pickup bumps
+// m.Started and observes its queue wait, each finished task bumps
+// m.Completed. A nil m reproduces ForEach exactly, with zero overhead.
+func ForEachM(ctx context.Context, workers, n int, fn func(i int) error, m *Metrics) error {
 	if n <= 0 {
 		return nil
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	var enqueued time.Time
+	if m != nil {
+		enqueued = time.Now()
 	}
 	if workers > n {
 		workers = n
@@ -45,13 +99,22 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			m.taskStarted(enqueued)
 			if err := fn(i); err != nil {
 				return err
 			}
+			m.taskCompleted()
 		}
 		return nil
 	}
+	return forEachParallel(ctx, workers, n, fn, m, enqueued)
+}
 
+// forEachParallel is the workers > 1 body of ForEachM. It lives in its own
+// function so the goroutine closure's captures don't force the sequential
+// fast path's locals onto the heap (the disabled sequential path is
+// allocation-free, and pool_test pins that).
+func forEachParallel(ctx context.Context, workers, n int, fn func(i int) error, m *Metrics, enqueued time.Time) error {
 	errs := make([]error, n)
 	var next atomic.Int64
 	var failed atomic.Bool
@@ -68,9 +131,12 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
+				m.taskStarted(enqueued)
 				if err := fn(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
+				} else {
+					m.taskCompleted()
 				}
 			}
 		}()

@@ -3,8 +3,12 @@ package pool
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"netdiag/internal/telemetry"
 )
 
 func TestForEachRunsAllTasks(t *testing.T) {
@@ -102,5 +106,112 @@ func TestSize(t *testing.T) {
 	}
 	if Size(0) < 1 || Size(-3) < 1 {
 		t.Fatal("Size must default to at least 1")
+	}
+}
+
+// TestForEachCancelMidWave cancels the context while a wave is in flight:
+// ForEach must return ctx.Err(), in-flight tasks run to completion, and no
+// new tasks start after the cancellation is observed.
+func TestForEachCancelMidWave(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 1000
+	release := make(chan struct{})
+	var started atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 4, n, func(i int) error {
+			started.Add(1)
+			<-release // block the first wave until the test cancels
+			return nil
+		})
+	}()
+
+	// Wait until some tasks are in flight, then cancel and release them.
+	for started.Load() == 0 {
+	}
+	cancel()
+	close(release)
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEach did not return promptly after cancellation")
+	}
+	if got := started.Load(); got == n {
+		t.Fatal("pool kept scheduling every task after cancellation")
+	}
+}
+
+// TestSizeDefault pins the documented contract: any non-positive request
+// resolves to runtime.GOMAXPROCS(0).
+func TestSizeDefault(t *testing.T) {
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1, -100} {
+		if got := Size(n); got != want {
+			t.Fatalf("Size(%d) = %d, want GOMAXPROCS(0) = %d", n, got, want)
+		}
+	}
+	if got := Size(7); got != 7 {
+		t.Fatalf("Size(7) = %d, want 7", got)
+	}
+}
+
+// TestForEachMMetrics checks the instrumented pool counts every task once
+// at each parallelism level, and that queue waits are observed.
+func TestForEachMMetrics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		r := telemetry.New()
+		m := NewMetrics(r)
+		const n = 37
+		if err := ForEachM(context.Background(), workers, n, func(i int) error { return nil }, m); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := m.Started.Value(); got != n {
+			t.Fatalf("workers=%d: started = %d, want %d", workers, got, n)
+		}
+		if got := m.Completed.Value(); got != n {
+			t.Fatalf("workers=%d: completed = %d, want %d", workers, got, n)
+		}
+		if got := m.QueueWait.Count(); got != n {
+			t.Fatalf("workers=%d: queue-wait observations = %d, want %d", workers, got, n)
+		}
+	}
+	if NewMetrics(nil) != nil {
+		t.Fatal("NewMetrics(nil) must be nil")
+	}
+}
+
+// TestForEachMSequentialDisabledAllocs guards the no-op path of the
+// instrumented pool: sequential execution without metrics must not
+// allocate at all.
+func TestForEachMSequentialDisabledAllocs(t *testing.T) {
+	fn := func(i int) error { return nil }
+	ctx := context.Background()
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := ForEachM(ctx, 1, 64, fn, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("disabled sequential ForEachM allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkForEachMDisabled(b *testing.B) {
+	fn := func(i int) error { return nil }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ForEachM(context.Background(), 1, 1024, fn, nil)
+	}
+}
+
+func BenchmarkForEachMInstrumented(b *testing.B) {
+	m := NewMetrics(telemetry.New())
+	fn := func(i int) error { return nil }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ForEachM(context.Background(), 1, 1024, fn, m)
 	}
 }

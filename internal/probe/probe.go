@@ -7,8 +7,63 @@ import (
 	"fmt"
 
 	"netdiag/internal/pool"
+	"netdiag/internal/telemetry"
 	"netdiag/internal/topology"
 )
+
+// Metrics instruments the measurement plane: how many full meshes were
+// filled, how many sensor pairs were traced, and how many of those pairs
+// came back unreachable. A nil *Metrics disables everything.
+type Metrics struct {
+	MeshFills        *telemetry.Counter
+	PairsTraced      *telemetry.Counter
+	PairsUnreachable *telemetry.Counter
+	// Pool carries the shared pool-layer task metrics of the per-pair
+	// traceroute fan-out.
+	Pool *pool.Metrics
+}
+
+// NewMetrics returns the probe metrics of a registry (nil registry -> nil).
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		MeshFills:        r.Counter("probe.mesh_fills"),
+		PairsTraced:      r.Counter("probe.pairs_traced"),
+		PairsUnreachable: r.Counter("probe.pairs_unreachable"),
+		Pool:             pool.NewMetrics(r),
+	}
+}
+
+func (m *Metrics) poolMetrics() *pool.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.Pool
+}
+
+// meshFilled records one completed full mesh.
+func (m *Metrics) meshFilled(mesh *Mesh) {
+	if m == nil {
+		return
+	}
+	m.MeshFills.Inc()
+	traced, unreachable := int64(0), int64(0)
+	for i := range mesh.Paths {
+		for j, p := range mesh.Paths[i] {
+			if i == j {
+				continue
+			}
+			traced++
+			if p == nil || !p.OK {
+				unreachable++
+			}
+		}
+	}
+	m.PairsTraced.Add(traced)
+	m.PairsUnreachable.Add(unreachable)
+}
 
 // Hop is one traceroute hop. For hops inside traceroute-blocking ASes the
 // address is "*" and Unidentified is set; Router and AS keep the ground
@@ -68,6 +123,13 @@ func NewMesh(sensors []topology.RouterID) *Mesh {
 // result lands in its own Paths slot, so the mesh is identical at any
 // parallelism level.
 func FillMesh(sensors []topology.RouterID, workers int, trace func(i, j int) *Path) *Mesh {
+	return FillMeshM(sensors, workers, trace, nil)
+}
+
+// FillMeshM is FillMesh with measurement telemetry: the fill, every traced
+// pair and every unreachable pair are counted, and the per-pair fan-out
+// reports pool task metrics. A nil met reproduces FillMesh exactly.
+func FillMeshM(sensors []topology.RouterID, workers int, trace func(i, j int) *Path, met *Metrics) *Mesh {
 	m := NewMesh(sensors)
 	n := len(sensors)
 	type job struct{ i, j int }
@@ -79,10 +141,11 @@ func FillMesh(sensors []topology.RouterID, workers int, trace func(i, j int) *Pa
 			}
 		}
 	}
-	_ = pool.ForEach(nil, workers, len(jobs), func(k int) error {
+	_ = pool.ForEachM(nil, workers, len(jobs), func(k int) error {
 		m.Paths[jobs[k].i][jobs[k].j] = trace(jobs[k].i, jobs[k].j)
 		return nil
-	})
+	}, met.poolMetrics())
+	met.meshFilled(m)
 	return m
 }
 

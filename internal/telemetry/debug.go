@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// published maps an expvar name to the registry pointer currently behind
+// it. expvar.Publish panics on duplicate names, so the indirection makes
+// PublishExpvar idempotent: republishing (tests, server restarts) swaps
+// the pointer instead of registering a second var.
+var published sync.Map // string -> *atomic.Pointer[Registry]
+
+// PublishExpvar exposes the registry's Snapshot under the given expvar
+// name (served at /debug/vars). Calling it again with the same name
+// atomically redirects the var to the new registry.
+func (r *Registry) PublishExpvar(name string) {
+	p, loaded := published.LoadOrStore(name, &atomic.Pointer[Registry]{})
+	ptr := p.(*atomic.Pointer[Registry])
+	ptr.Store(r)
+	if !loaded {
+		expvar.Publish(name, expvar.Func(func() any {
+			return ptr.Load().Snapshot()
+		}))
+	}
+}
+
+// DebugHandler returns the debug mux: expvar at /debug/vars (every
+// published var, including the Go runtime's memstats) and the pprof
+// endpoints under /debug/pprof/.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP server.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug publishes the registry under the expvar name "netdiag" and
+// starts the debug server on addr (":0" picks a free port). The server
+// runs until Close.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	r.PublishExpvar("netdiag")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &DebugServer{srv: &http.Server{Handler: DebugHandler()}, ln: ln}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the listen address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *DebugServer) Close() error { return s.srv.Close() }

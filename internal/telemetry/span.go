@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a pipeline run. Start is the offset from the
+// beginning of the trace, so spans order and nest naturally in a report.
+// Iteration is >= 1 for per-iteration spans (e.g. each greedy round) and 0
+// for plain phases.
+type Span struct {
+	Name      string        `json:"name"`
+	Start     time.Duration `json:"start"`
+	Duration  time.Duration `json:"duration"`
+	Iteration int           `json:"iteration,omitempty"`
+}
+
+// Trace records the phase spans of one call (one Diagnose, one trial). A
+// nil *Trace is a no-op: StartSpan returns a func that does nothing and
+// never reads the clock, so untraced calls pay nothing.
+type Trace struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []Span
+}
+
+// NewTrace starts an empty trace anchored at the current time.
+func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+var noopEnd = func() {}
+
+// StartSpan begins a phase and returns the func that ends it. Safe for
+// concurrent use.
+func (t *Trace) StartSpan(name string) func() { return t.StartIteration(name, 0) }
+
+// StartIteration begins one iteration of a repeated phase (Iteration is
+// recorded on the span) and returns the func that ends it.
+func (t *Trace) StartIteration(name string, iter int) func() {
+	if t == nil {
+		return noopEnd
+	}
+	start := time.Since(t.t0)
+	return func() {
+		d := time.Since(t.t0) - start
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start, Duration: d, Iteration: iter})
+		t.mu.Unlock()
+	}
+}
+
+// Spans returns a copy of the recorded spans in completion order. Nil for
+// a nil trace.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}

@@ -34,6 +34,7 @@ import (
 	"netdiag/internal/monitor"
 	"netdiag/internal/netsim"
 	"netdiag/internal/probe"
+	"netdiag/internal/telemetry"
 	"netdiag/internal/topology"
 )
 
@@ -157,6 +158,37 @@ func GenerateResearch(seed int64) (*Research, error) {
 func NewNetwork(t *Topology, origins []ASN, opts ...NetworkOption) (*Network, error) {
 	return netsim.New(t, origins, opts...)
 }
+
+// Telemetry types (see internal/telemetry). A Telemetry registry collects
+// counters, gauges and latency histograms from every pipeline layer it is
+// attached to; everything is off (and free) until a registry is passed in.
+type (
+	// Telemetry is a registry of named pipeline metrics.
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of a registry's metrics.
+	TelemetrySnapshot = telemetry.Snapshot
+	// Span is one timed phase of a Diagnose run (Result.Telemetry).
+	Span = telemetry.Span
+	// DebugServer serves /debug/vars and /debug/pprof for a registry.
+	DebugServer = telemetry.DebugServer
+)
+
+// NewTelemetry returns an empty telemetry registry. Attach it with
+// WithTelemetry (diagnosis), WithNetworkTelemetry (simulation) or
+// DetectorConfig.Telemetry (monitoring), and serve it with ServeDebug.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// ServeDebug starts an HTTP debug server on addr exposing the registry at
+// /debug/vars (expvar, under the "netdiag" key) and the runtime profiles at
+// /debug/pprof. Close the returned server to stop it.
+func ServeDebug(addr string, r *Telemetry) (*DebugServer, error) {
+	return telemetry.ServeDebug(addr, r)
+}
+
+// WithNetworkTelemetry attaches a telemetry registry to a simulated
+// Network: convergence-phase latencies, SPF-cache hit rates, BGP fixpoint
+// rounds, probe-mesh and worker-pool metrics.
+func WithNetworkTelemetry(r *Telemetry) NetworkOption { return netsim.WithTelemetry(r) }
 
 // NewLookingGlassRegistry builds a Looking Glass oracle over converged BGP
 // states (see internal/lookingglass).
