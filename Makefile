@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race lint bench verify
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,12 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Project-invariant static analysis (see "Enforced invariants" in
+# DESIGN.md). Exit 1 means findings; fix them or suppress in place with
+# an //ndlint:ignore <analyzer> <reason> comment.
+lint:
+	$(GO) run ./cmd/ndlint ./...
+
 # Reduced-scale benchmark sweep, including the parallelism comparisons.
 # The results also land in BENCH_pipeline.json (machine-readable, for CI
 # diffing) via cmd/benchjson. The text output is captured first so a
@@ -24,6 +30,6 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_pipeline.json < BENCH_pipeline.txt
 	@rm -f BENCH_pipeline.txt
 
-# The full verify loop: tier-1 (build + test) plus vet and the race
-# detector. Run before every commit.
-verify: build vet test race
+# The full verify loop: tier-1 (build + test) plus vet, the project
+# linter and the race detector. Run before every commit.
+verify: build vet lint test race

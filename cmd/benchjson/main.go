@@ -22,13 +22,13 @@ import (
 
 // Entry is one parsed benchmark result line.
 type Entry struct {
-	Package    string  `json:"package,omitempty"`
-	Name       string  `json:"name"`
-	Procs      int     `json:"procs,omitempty"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp *int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	Package     string  `json:"package,omitempty"`
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
 }
 
 // Report is the emitted document.

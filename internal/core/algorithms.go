@@ -4,7 +4,6 @@ import (
 	"context"
 	"log/slog"
 	"sort"
-	"time"
 
 	"netdiag/internal/pool"
 	"netdiag/internal/telemetry"
@@ -245,10 +244,10 @@ func (e *engine) phaseIter(name string, iter int) func() {
 		return noopEnd
 	}
 	endSpan := e.trace.StartIteration(name, iter)
-	start := time.Now()
+	start := telemetry.Now()
 	return func() {
 		endSpan()
-		d := time.Since(start)
+		d := telemetry.Since(start)
 		if e.opts.Telemetry != nil {
 			e.opts.Telemetry.Histogram("diagnose.phase."+name+"_ns", telemetry.DurationBuckets).
 				Observe(int64(d))

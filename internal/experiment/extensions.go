@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"netdiag/internal/core"
 	"netdiag/internal/metrics"
@@ -192,6 +193,12 @@ func SCFSStudy(cfg Config) (*Figure, error) {
 		for l := range union {
 			scfsHyp = append(scfsHyp, l)
 		}
+		sort.Slice(scfsHyp, func(i, j int) bool {
+			if scfsHyp[i].From != scfsHyp[j].From {
+				return scfsHyp[i].From < scfsHyp[j].From
+			}
+			return scfsHyp[i].To < scfsHyp[j].To
+		})
 		fig.dist("scfs-union sensitivity").Add(metrics.Sensitivity(td.FailedLinks, scfsHyp))
 		fig.dist("scfs-union specificity").Add(metrics.Specificity(env.E, td.FailedLinks, scfsHyp))
 		tomo := mustRun(td.Meas, tomoOpts())

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"time"
 
 	"netdiag/internal/core"
 	"netdiag/internal/metrics"
@@ -180,9 +179,9 @@ func (m *scenarioMetrics) trial(run func() (*TrialData, error)) (*TrialData, err
 	if m == nil {
 		return run()
 	}
-	start := time.Now()
+	start := telemetry.Now()
 	td, err := run()
-	m.trialNS.Observe(int64(time.Since(start)))
+	m.trialNS.Observe(int64(telemetry.Since(start)))
 	m.trialsRun.Inc()
 	if err == nil {
 		m.trialsImpactful.Inc()

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// All returns the project's analyzers in their canonical (alphabetical)
+// order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxFlow,
+		GlobalRand,
+		MapOrder,
+		NilHandle,
+		WallClock,
+	}
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes, if any
+// (package-level function or method; nil for builtins, conversions and
+// indirect calls through plain variables).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgCall reports whether the call invokes the package-level function
+// pkgPath.name (resolved through the type info, so import renames are
+// handled).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false // method, not a package-level function
+	}
+	if len(names) == 0 {
+		return f.Name(), true
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// namedType unwraps pointers and aliases to the *types.Named beneath a
+// type, if any.
+func namedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && isNamed(t, "context", "Context")
+}
+
+// hasCtxParam returns the *types.Var of the first context.Context
+// parameter of the function type, or nil.
+func hasCtxParam(sig *types.Signature) *types.Var {
+	if sig == nil {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); isContextType(p.Type()) {
+			return p
+		}
+	}
+	return nil
+}
+
+// funcBodies visits every function body in the files: declarations and
+// function literals, paired with the enclosing *types.Signature.
+func funcBodies(p *Pass, visit func(sig *types.Signature, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+						visit(obj.Type().(*types.Signature), fn.Body)
+					}
+				}
+			case *ast.FuncLit:
+				if sig, ok := p.Info.TypeOf(fn.Type).(*types.Signature); ok {
+					visit(sig, fn.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// inspectStack walks root calling fn with the ancestor stack (outermost
+// first, not including n itself). Returning false skips the subtree.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false // subtree skipped: no matching nil arrives
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow encodes the Diagnose session API contract: a function that
+// receives a context.Context owns that context's cancellation scope and
+// must flow it downward. Inside such a function it is a violation to
+//
+//   - mint a fresh root with context.Background() or context.TODO()
+//     (the caller's deadline and cancellation are silently dropped), or
+//   - pass a nil literal where a callee expects a context.Context.
+//
+// One idiom is exempt: nil-tolerant entry points may default their own
+// parameter, `if ctx == nil { ctx = context.Background() }` — the
+// assignment target is the context variable being defaulted inside its
+// own nil check, so no caller-provided context is lost. Deriving
+// contexts (context.WithTimeout(ctx, ...)) is of course fine: the
+// argument is the received ctx.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions receiving a ctx must flow it: no context.Background/TODO, no nil ctx args",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	funcBodies(p, func(sig *types.Signature, body *ast.BlockStmt) {
+		if hasCtxParam(sig) == nil {
+			return
+		}
+		inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+			// A nested function literal with its own ctx parameter is its
+			// own scope; funcBodies visits it separately.
+			if lit, ok := n.(*ast.FuncLit); ok {
+				if litSig, ok := p.Info.TypeOf(lit.Type).(*types.Signature); ok && hasCtxParam(litSig) != nil {
+					return false
+				}
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := isPkgCall(p.Info, call, "context", "Background", "TODO"); ok {
+				if !isNilDefaultIdiom(p, call, stack) {
+					p.Reportf(call.Pos(), "context.%s inside a function that receives a ctx; forward the ctx instead (session API contract)", name)
+				}
+			}
+			checkNilCtxArgs(p, call)
+			return true
+		})
+	})
+}
+
+// checkNilCtxArgs flags nil literals in context.Context argument slots.
+func checkNilCtxArgs(p *Pass, call *ast.CallExpr) {
+	sig, ok := types.Unalias(p.Info.TypeOf(call.Fun)).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			continue
+		}
+		if _, isNil := p.Info.Uses[id].(*types.Nil); !isNil {
+			continue
+		}
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len()-1 {
+			pi = sig.Params().Len() - 1
+		}
+		if pi >= sig.Params().Len() {
+			continue
+		}
+		if isContextType(sig.Params().At(pi).Type()) {
+			p.Reportf(arg.Pos(), "nil passed as context.Context by a function that receives a ctx; forward the ctx (session API contract)")
+		}
+	}
+}
+
+// isNilDefaultIdiom recognizes `v = context.Background()` as the sole
+// effect of `if v == nil { ... }` for the same context variable v: the
+// nil-tolerant entry-point defaulting idiom.
+func isNilDefaultIdiom(p *Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	// Expect ... IfStmt > BlockStmt > AssignStmt > (call). Allow the call
+	// to sit directly in the assignment RHS only.
+	var assign *ast.AssignStmt
+	var ifStmt *ast.IfStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.AssignStmt:
+			if assign == nil {
+				assign = s
+			}
+		case *ast.IfStmt:
+			ifStmt = s
+		case *ast.BlockStmt, *ast.ExprStmt, *ast.ParenExpr:
+			continue
+		default:
+			// Any other construct between the call and the if breaks the
+			// idiom (e.g. the call is an argument of something else).
+			if assign == nil {
+				return false
+			}
+		}
+		if ifStmt != nil {
+			break
+		}
+	}
+	if assign == nil || ifStmt == nil {
+		return false
+	}
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || ast.Unparen(assign.Rhs[0]) != call {
+		return false
+	}
+	lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := p.Info.Uses[lhs].(*types.Var)
+	if !ok && assign.Tok.String() == ":=" {
+		return false
+	}
+	if v == nil || !isContextType(v.Type()) {
+		return false
+	}
+	return isNilCompare(ifStmt.Cond, lhs.Name)
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// GlobalRand encodes the trial-reproducibility contract: library code
+// must derive every *rand.Rand from the scenario seed, never from the
+// process-global math/rand source (which is racy across goroutines and
+// unseeded across runs). Flagged in non-main packages:
+//
+//   - package-level math/rand and math/rand/v2 functions (rand.Intn,
+//     rand.Float64, rand.Shuffle, ...) — they draw from the global
+//     source; constructors (rand.New, rand.NewSource, rand.NewZipf,
+//     rand.NewPCG, ...) stay legal,
+//   - rand.NewSource/rand.NewPCG seeded from the wall clock (any
+//     time.* call in the seed expression) — that is an unseeded RNG in
+//     disguise.
+//
+// Main packages (cmd/, examples/) may do as they please: they own their
+// seeds.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "no math/rand global source or clock-seeded RNGs in library packages (seeded trials)",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+				name, ok := isPkgCall(p.Info, call, randPkg)
+				if !ok {
+					continue
+				}
+				if strings.HasPrefix(name, "New") {
+					if pos, ok := clockSeed(p, call); ok {
+						p.Reportf(pos, "RNG seeded from the wall clock; derive the seed from the scenario seed (seeded trials)")
+					}
+					continue
+				}
+				p.Reportf(call.Pos(), "global math/rand source (rand.%s) in library code; derive a *rand.Rand from the scenario seed (seeded trials)", name)
+			}
+			return true
+		})
+	}
+}
+
+// clockSeed reports whether any argument of the constructor call reads
+// the clock (a time.* call in the seed expression).
+func clockSeed(p *Pass, call *ast.CallExpr) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if f := calleeFunc(p.Info, inner); f != nil && f.Pkg() != nil && f.Pkg().Path() == "time" {
+				pos, found = inner.Pos(), true
+				return false
+			}
+			return !found
+		})
+		if found {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}

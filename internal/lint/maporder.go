@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder encodes the byte-determinism contract of the figure/CSV
+// pipeline: iterating a Go map yields a scheduling-dependent order, so a
+// `for range` over a map must not feed order-sensitive output. Flagged
+// sinks inside the loop body are
+//
+//   - appends to a slice declared outside the loop with no subsequent
+//     sort of that slice in the same function,
+//   - writes to an io.Writer (fmt.Fprint*/Print*, Write/WriteString/...
+//     methods) including encoding/csv writers,
+//   - telemetry span recording (*telemetry.Trace methods), whose span
+//     order is part of the rendered output.
+//
+// Building another map, or summing into scalars, is order-insensitive
+// and not flagged. Collect the keys, sort them (see
+// experiment.sortedKeys), and iterate the slice instead.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration must not feed ordered output (slices left unsorted, writers, spans)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		// Collect enclosing function bodies so "a later sort in the same
+		// function" has a scope to search.
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(p, rs, enclosingBody(stack))
+			return true
+		})
+	}
+}
+
+// enclosingBody returns the innermost function body on the stack.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func checkMapRange(p *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	// Slices appended to inside the loop, keyed by their variable; the
+	// value is the position of the first append (for the report).
+	appended := map[*types.Var]token.Pos{}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p.Info, call) || len(call.Args) == 0 {
+					continue
+				}
+				v := sliceVar(p.Info, call.Args[0])
+				if v == nil {
+					continue
+				}
+				// Only slices that outlive the loop carry its order out.
+				if v.Pos() < rs.Pos() || v.Pos() > rs.End() {
+					if _, ok := appended[v]; !ok {
+						appended[v] = call.Pos()
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := writerSink(p, n); ok {
+				p.Reportf(n.Pos(), "map iteration feeds %s; iterate sorted keys instead (determinism contract)", name)
+			}
+		}
+		return true
+	})
+
+	for v, pos := range appended {
+		if fnBody != nil && sortedAfter(p, fnBody, rs, v) {
+			continue
+		}
+		p.Reportf(pos, "append to %q inside map iteration without a later sort; sort %q or iterate sorted keys (determinism contract)", v.Name(), v.Name())
+	}
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sliceVar resolves the appendee expression to its variable, if it is a
+// plain identifier.
+func sliceVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// writerSink reports whether the call writes to ordered output: a
+// fmt.Print*/Fprint* call, a Write-family method on an io.Writer, an
+// encoding/csv writer, or a telemetry trace span.
+func writerSink(p *Pass, call *ast.CallExpr) (string, bool) {
+	if name, ok := isPkgCall(p.Info, call, "fmt",
+		"Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println"); ok {
+		return "fmt." + name, true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := selection.Recv()
+	name := sel.Sel.Name
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteAll":
+		if implementsIOWriter(recv) || isNamed(recv, "encoding/csv", "Writer") {
+			return typeLabel(recv) + "." + name, true
+		}
+	case "StartSpan", "StartIteration":
+		if isNamed(recv, p.ModPath+"/internal/telemetry", "Trace") {
+			return "telemetry span recording", true
+		}
+	}
+	return "", false
+}
+
+// ioWriter is the io.Writer interface, built directly so the analyzer
+// does not depend on loading package io.
+var ioWriter = types.NewInterfaceType([]*types.Func{
+	types.NewFunc(token.NoPos, nil, "Write", types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p",
+			types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type())),
+		false)),
+}, nil).Complete()
+
+func implementsIOWriter(t types.Type) bool {
+	return types.Implements(t, ioWriter) ||
+		types.Implements(types.NewPointer(t), ioWriter)
+}
+
+func typeLabel(t types.Type) string {
+	if n := namedType(t); n != nil {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// sortedAfter reports whether v is sorted (sort.* or slices.Sort*) by a
+// call positioned after the range statement inside the function body.
+func sortedAfter(p *Pass, body *ast.BlockStmt, rs *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(p.Info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(p.Info, arg, v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	if _, ok := isPkgCall(info, call, "sort",
+		"Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s"); ok {
+		return true
+	}
+	if _, ok := isPkgCall(info, call, "slices",
+		"Sort", "SortFunc", "SortStableFunc"); ok {
+		return true
+	}
+	return false
+}
+
+// refersTo reports whether expr mentions the variable v (directly or
+// under & / parens / selector roots).
+func refersTo(info *types.Info, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

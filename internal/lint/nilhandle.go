@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// NilHandle preserves the zero-alloc no-op hot path of the telemetry
+// layer: every handle type in internal/telemetry documents "a nil *T is
+// a no-op", and instrumented code calls handles unconditionally instead
+// of branching on an enabled flag — so every exported pointer-receiver
+// method on a nil-documented type must tolerate a nil receiver. A method
+// satisfies the contract when either
+//
+//   - its first statement is the guard `if recv == nil { return ... }`,
+//     or
+//   - its whole body delegates: a single statement calling another
+//     method on the receiver (e.g. Counter.Inc calling c.Add), which is
+//     safe because a method call on a nil pointer receiver does not
+//     dereference it and the callee is itself checked.
+//
+// The set of guarded types is read from the package's own docs: any
+// exported type whose doc comment contains "nil *T" or "nil receiver"
+// promises nil-safety and is held to it.
+var NilHandle = &Analyzer{
+	Name: "nilhandle",
+	Doc:  "exported methods on nil-documented telemetry handles start with a nil-receiver guard",
+	Run:  runNilHandle,
+}
+
+var nilDocRe = regexp.MustCompile(`(?i)\bnil \*[A-Za-z]|\bnil receiver\b|\bnil \*?Registry\b`)
+
+func runNilHandle(p *Pass) {
+	if p.Pkg.Name() != "telemetry" {
+		return
+	}
+	// Pass 1: which exported types document nil-safety?
+	guarded := map[string]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if doc != nil && nilDocRe.MatchString(doc.Text()) {
+					guarded[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	// Pass 2: every exported pointer method on a guarded type checks or
+	// delegates.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			if p.InTestFile(fd.Pos()) {
+				continue
+			}
+			recvName, typeName, isPtr := receiver(p, fd)
+			if !isPtr || !guarded[typeName] {
+				continue
+			}
+			if startsWithNilGuard(fd.Body, recvName) || delegatesToReceiver(p, fd.Body, recvName) {
+				continue
+			}
+			p.Reportf(fd.Pos(), "exported method (*%s).%s lacks a leading nil-receiver guard; nil handles must be no-ops (zero-alloc telemetry contract)", typeName, fd.Name.Name)
+		}
+	}
+}
+
+// receiver extracts the receiver name, base type name and pointer-ness
+// of a method declaration.
+func receiver(p *Pass, fd *ast.FuncDecl) (recvName, typeName string, isPtr bool) {
+	if len(fd.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fd.Recv.List[0]
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	t := p.Info.TypeOf(field.Type)
+	if t == nil {
+		return "", "", false
+	}
+	if _, ok := types.Unalias(t).(*types.Pointer); !ok {
+		return recvName, "", false
+	}
+	if n := namedType(t); n != nil {
+		return recvName, n.Obj().Name(), true
+	}
+	return recvName, "", false
+}
+
+// startsWithNilGuard reports whether the body's first statement is
+// `if recv == nil { return ... }` (no else).
+func startsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if recvName == "" || len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil {
+		return false
+	}
+	if !isNilCompare(ifs.Cond, recvName) {
+		return false
+	}
+	for _, s := range ifs.Body.List {
+		if _, ok := s.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isNilCompare matches `x == nil` / `nil == x` for the identifier x.
+func isNilCompare(cond ast.Expr, name string) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "==" {
+		return false
+	}
+	isIdent := func(e ast.Expr, want string) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == want
+	}
+	return (isIdent(be.X, name) && isIdent(be.Y, "nil")) ||
+		(isIdent(be.X, "nil") && isIdent(be.Y, name))
+}
+
+// delegatesToReceiver reports whether the body is a single statement
+// whose expression is a method call on the receiver (possibly returned).
+func delegatesToReceiver(p *Pass, body *ast.BlockStmt, recvName string) bool {
+	if recvName == "" || len(body.List) != 1 {
+		return false
+	}
+	var expr ast.Expr
+	switch s := body.List[0].(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		expr = s.Results[0]
+	default:
+		return false
+	}
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && id.Name == recvName
+}

@@ -1,0 +1,79 @@
+// Package ctxflow is golden-test input for the ctxflow analyzer.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func callee(ctx context.Context) error { return ctx.Err() }
+
+func variadicCallee(ctx context.Context, xs ...int) { _ = xs }
+
+// mintsBackground drops the caller's cancellation scope.
+func mintsBackground(ctx context.Context) error {
+	return callee(context.Background()) // want ctxflow "context.Background inside a function that receives a ctx"
+}
+
+// mintsTODO is the same defect spelled TODO.
+func mintsTODO(ctx context.Context) error {
+	return callee(context.TODO()) // want ctxflow "context.TODO inside a function that receives a ctx"
+}
+
+// passesNil hands a callee a nil context.
+func passesNil(ctx context.Context) {
+	_ = callee(nil) // want ctxflow "nil passed as context.Context"
+}
+
+// passesNilVariadic still resolves the fixed ctx parameter.
+func passesNilVariadic(ctx context.Context) {
+	variadicCallee(nil, 1, 2) // want ctxflow "nil passed as context.Context"
+}
+
+// forwards is the contract honored.
+func forwards(ctx context.Context) error {
+	return callee(ctx)
+}
+
+// derives builds a child context from the received one: legal.
+func derives(ctx context.Context) error {
+	child, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return callee(child)
+}
+
+// nilDefault is the sanctioned nil-tolerant entry-point idiom.
+func nilDefault(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return callee(ctx)
+}
+
+// noCtxParam may mint roots freely: it owns no caller scope.
+func noCtxParam() error {
+	return callee(context.Background())
+}
+
+// closureInherits: a literal without its own ctx param lives in the
+// enclosing function's scope, so minting a root inside it still drops
+// the received ctx.
+func closureInherits(ctx context.Context) func() error {
+	return func() error {
+		return callee(context.Background()) // want ctxflow "context.Background inside a function that receives a ctx"
+	}
+}
+
+// closureOwnCtx: a literal with its own ctx parameter is its own scope
+// and is judged on its own (and violates here).
+func closureOwnCtx() func(context.Context) error {
+	return func(ctx context.Context) error {
+		return callee(context.TODO()) // want ctxflow "context.TODO inside a function that receives a ctx"
+	}
+}
+
+// nilOutsideCtxFunc: nil contexts in ctx-less functions are the callee's
+// problem (nil-tolerant entry points exist); not flagged here.
+func nilOutsideCtxFunc() {
+	_ = callee(nil)
+}

@@ -1,0 +1,56 @@
+// Package globalrand is golden-test input for the globalrand analyzer.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// pickGlobal draws from the process-global source: racy across the
+// worker pool and unseeded across runs.
+func pickGlobal(n int) int {
+	return rand.Intn(n) // want globalrand "global math/rand source (rand.Intn)"
+}
+
+// jitterGlobal is the same defect through a float helper.
+func jitterGlobal() float64 {
+	return rand.Float64() // want globalrand "global math/rand source (rand.Float64)"
+}
+
+// shuffleGlobal mutates through the global source.
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want globalrand "global math/rand source (rand.Shuffle)"
+}
+
+// pickGlobalV2 shows math/rand/v2 is covered too, import rename and all.
+func pickGlobalV2(n int) int {
+	return randv2.IntN(n) // want globalrand "global math/rand source (rand.IntN)"
+}
+
+// clockSeeded is an unseeded RNG in disguise: the seed is a wall-clock
+// read, so no two runs agree.
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want globalrand "RNG seeded from the wall clock"
+}
+
+// clockSeededV2 hides the clock one expression deeper.
+func clockSeededV2() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(uint64(time.Now().UnixNano()), 2)) // want globalrand "RNG seeded from the wall clock"
+}
+
+// seeded is the sanctioned pattern: the RNG derives from a scenario
+// seed threaded in by the caller.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// seededV2 is the v2 spelling of the same pattern.
+func seededV2(a, b uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(a, b))
+}
+
+// methods on a seeded *rand.Rand are fine: the source is owned.
+func drawSeeded(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}

@@ -1,0 +1,137 @@
+// Package maporder is golden-test input for the maporder analyzer:
+// deliberate determinism violations paired with the legal patterns the
+// analyzer must not flag.
+package maporder
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+
+	"netdiag/internal/telemetry"
+)
+
+// appendNoSort leaks map order into the returned slice.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder "append to \"keys\" inside map iteration without a later sort"
+	}
+	return keys
+}
+
+// appendThenSortStrings is the sanctioned sortedKeys idiom.
+func appendThenSortStrings(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendThenSortSlice sorts with a comparator; also legal.
+func appendThenSortSlice(m map[int]string) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// appendThenSlicesSort uses the slices package; also legal.
+func appendThenSlicesSort(m map[string]bool) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// appendThenSortStable reaches the slice through a conversion; the sort
+// still counts.
+func appendThenSortStable(m map[string]bool) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Stable(sort.StringSlice(keys))
+	return keys
+}
+
+// fprintInLoop writes map-ordered lines to a writer.
+func fprintInLoop(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want maporder "map iteration feeds fmt.Fprintf"
+	}
+}
+
+// bufferWriteInLoop hits the io.Writer method sink.
+func bufferWriteInLoop(m map[string]int) string {
+	var b bytes.Buffer
+	for k := range m {
+		b.WriteString(k) // want maporder "map iteration feeds Buffer.WriteString"
+	}
+	return b.String()
+}
+
+// csvWriteInLoop feeds CSV output in map order.
+func csvWriteInLoop(w *csv.Writer, m map[string]string) {
+	for k, v := range m {
+		_ = w.Write([]string{k, v}) // want maporder "map iteration feeds Writer.Write"
+	}
+}
+
+// spanInLoop records telemetry spans in map order.
+func spanInLoop(tr *telemetry.Trace, m map[string]int) {
+	for k := range m {
+		tr.StartSpan(k)() // want maporder "map iteration feeds telemetry span recording"
+	}
+}
+
+// mapToMap builds another map: order-insensitive, legal.
+func mapToMap(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// localAppend appends to a slice scoped inside the loop; its order never
+// escapes an iteration, legal.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}
+
+// sliceRange iterates a slice, not a map: legal.
+func sliceRange(xs []string, w io.Writer) {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+		fmt.Fprintln(w, x)
+	}
+	_ = out
+}
+
+// scalarSum folds into a scalar: commutative, legal.
+func scalarSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,66 @@
+// Package telemetry is golden-test input for the nilhandle analyzer.
+// The analyzer gates on the package *name* telemetry, so this fixture
+// declares it too and mirrors the real handle contract.
+package telemetry
+
+// A Gauge is a telemetry handle; a nil *Gauge is a no-op, so handles
+// can be called unconditionally on the hot path.
+type Gauge struct {
+	v int64
+}
+
+// Set honors the contract: the nil guard is the first statement.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value guards and returns a zero value for nil handles: legal.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Inc delegates to Add in a single statement: legal, because calling a
+// method on a nil pointer receiver does not dereference it and the
+// callee carries the guard.
+func (g *Gauge) Inc() {
+	g.Add(1)
+}
+
+// Add dereferences a possibly-nil receiver with no guard.
+func (g *Gauge) Add(v int64) { // want nilhandle "exported method (*Gauge).Add lacks a leading nil-receiver guard"
+	g.v += v
+}
+
+// Swap guards, but not first: the contract wants the guard as the
+// leading statement so nothing runs before it.
+func (g *Gauge) Swap(v int64) int64 { // want nilhandle "exported method (*Gauge).Swap lacks a leading nil-receiver guard"
+	old := v
+	if g == nil {
+		return 0
+	}
+	old, g.v = g.v, v
+	return old
+}
+
+// reset is unexported: package-internal callers check for themselves.
+func (g *Gauge) reset() {
+	g.v = 0
+}
+
+// A Scratch accumulator makes no promise about handles being optional,
+// so its methods owe no guard.
+type Scratch struct {
+	n int
+}
+
+// Bump has no guard and needs none: Scratch is not a nil-documented
+// handle type.
+func (s *Scratch) Bump() {
+	s.n++
+}

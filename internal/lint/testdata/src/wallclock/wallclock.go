@@ -1,0 +1,35 @@
+// Package wallclock is golden-test input for the wallclock analyzer.
+package wallclock
+
+import "time"
+
+// Stamp reads the clock in library code: the core violation.
+func Stamp() time.Time {
+	return time.Now() // want wallclock "wall-clock read time.Now"
+}
+
+// Elapsed reads the clock through Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want wallclock "wall-clock read time.Since"
+}
+
+// Deadline reads the clock through Until.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want wallclock "wall-clock read time.Until"
+}
+
+// Pure time arithmetic never reads the clock: legal.
+func Pure(a, b time.Time) time.Duration {
+	_ = time.Date(2007, 12, 10, 0, 0, 0, 0, time.UTC)
+	_ = a.Add(3 * time.Second)
+	return a.Sub(b)
+}
+
+// Suppressions with a reason silence a finding in place: on the same
+// line or on the line directly above.
+func suppressed() (time.Time, time.Time) {
+	a := time.Now() //ndlint:ignore wallclock same-line suppression exercised by golden tests
+	//ndlint:ignore wallclock line-above suppression exercised by golden tests
+	b := time.Now()
+	return a, b
+}

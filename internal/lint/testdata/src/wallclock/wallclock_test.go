@@ -1,0 +1,17 @@
+package wallclock
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are exempt: timing a test for reporting never feeds
+// pipeline results. This file also forces the test-augmented variant of
+// the package to be analyzed, so the golden test exercises diagnostic
+// dedupe across unit variants.
+func TestClockExempt(t *testing.T) {
+	t0 := time.Now()
+	if time.Since(t0) < 0 {
+		t.Fatal("clock went backwards")
+	}
+}

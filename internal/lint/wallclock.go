@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock encodes the replay-determinism contract of the
+// simulate→probe→diagnose path: wall-clock reads (time.Now, time.Since)
+// live only in internal/telemetry — which centralizes every clock read
+// behind nil-guarded, zero-cost-when-off instrumentation — and in the
+// cmd/ mains, where human-facing progress timing is fine. Library code
+// that needs timing goes through telemetry.Now/telemetry.Since (or a
+// *telemetry.Trace), so a replayed or resumed run never observes the
+// clock. _test.go files are exempt: tests may time themselves for
+// reporting without touching pipeline results.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "time.Now/time.Since only in internal/telemetry and cmd/ (replay determinism)",
+	Run:  runWallClock,
+}
+
+func runWallClock(p *Pass) {
+	// The telemetry package is the sanctioned clock seam; main packages
+	// (cmd/, examples/) own their progress timing.
+	if p.Pkg.Name() == "telemetry" || p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := isPkgCall(p.Info, call, "time", "Now", "Since", "Until")
+			if !ok || p.InTestFile(call.Pos()) {
+				return true
+			}
+			p.Reportf(call.Pos(), "wall-clock read time.%s outside internal/telemetry and cmd/; use telemetry.Now/telemetry.Since or accept a timestamp (replay determinism)", name)
+			return true
+		})
+	}
+}

@@ -79,7 +79,7 @@ func (m *simMetrics) phaseStart() time.Time {
 	if m == nil {
 		return time.Time{}
 	}
-	return time.Now()
+	return telemetry.Now()
 }
 
 func (m *simMetrics) bgpMetrics() *bgp.Metrics {
@@ -247,8 +247,8 @@ func (n *Network) Reconverge() error {
 	start := n.met.phaseStart()
 	n.igp = igp.NewCached(n.topo, isUp, n.spfCache, n.parallelism)
 	if n.met != nil {
-		n.met.spfNS.Observe(int64(time.Since(start)))
-		start = time.Now()
+		n.met.spfNS.Observe(int64(telemetry.Since(start)))
+		start = telemetry.Now()
 	}
 	st, err := bgp.Compute(bgp.Config{
 		Topo:        n.topo,
@@ -264,7 +264,7 @@ func (n *Network) Reconverge() error {
 		return err
 	}
 	if n.met != nil {
-		n.met.bgpNS.Observe(int64(time.Since(start)))
+		n.met.bgpNS.Observe(int64(telemetry.Since(start)))
 		n.met.reconverges.Inc()
 	}
 	n.bgp = st
@@ -443,7 +443,7 @@ func (n *Network) Mesh(sensors []topology.RouterID) *probe.Mesh {
 		return n.Traceroute(sensors[i], sensors[j])
 	}, n.met.probeMetrics())
 	if n.met != nil {
-		n.met.meshNS.Observe(int64(time.Since(start)))
+		n.met.meshNS.Observe(int64(telemetry.Since(start)))
 	}
 	return m
 }

@@ -54,7 +54,7 @@ func (m *Metrics) taskStarted(enqueued time.Time) {
 		return
 	}
 	m.Started.Inc()
-	m.QueueWait.Observe(int64(time.Since(enqueued)))
+	m.QueueWait.Observe(int64(telemetry.Since(enqueued)))
 }
 
 func (m *Metrics) taskCompleted() {
@@ -89,7 +89,7 @@ func ForEachM(ctx context.Context, workers, n int, fn func(i int) error, m *Metr
 	}
 	var enqueued time.Time
 	if m != nil {
-		enqueued = time.Now()
+		enqueued = telemetry.Now()
 	}
 	if workers > n {
 		workers = n

@@ -1,0 +1,18 @@
+package telemetry
+
+import "time"
+
+// This file is the pipeline's only sanctioned wall-clock access outside
+// cmd/ mains. Library code must not call time.Now/time.Since directly
+// (the wallclock lint invariant): routing every clock read through here
+// keeps the simulate→probe→diagnose path auditable for replay
+// determinism — telemetry timing is observational and never feeds
+// results, and a future replay/resume mode can interpose on this one
+// seam instead of chasing clock reads across the tree.
+
+// Now returns the current wall-clock time for telemetry timing.
+func Now() time.Time { return time.Now() }
+
+// Since returns the elapsed wall-clock time since t, for telemetry
+// timing.
+func Since(t time.Time) time.Duration { return time.Since(t) }

@@ -17,7 +17,10 @@ var published sync.Map // string -> *atomic.Pointer[Registry]
 
 // PublishExpvar exposes the registry's Snapshot under the given expvar
 // name (served at /debug/vars). Calling it again with the same name
-// atomically redirects the var to the new registry.
+// atomically redirects the var to the new registry. Publishing a nil
+// registry is valid and serves empty snapshots.
+//
+//ndlint:ignore nilhandle nil-safe without a guard: r is only stored, and Snapshot nil-guards every read
 func (r *Registry) PublishExpvar(name string) {
 	p, loaded := published.LoadOrStore(name, &atomic.Pointer[Registry]{})
 	ptr := p.(*atomic.Pointer[Registry])

@@ -239,18 +239,23 @@ type Snapshot struct {
 	Derived    map[string]float64           `json:"derived,omitempty"`
 }
 
-// Snapshot captures the current value of every metric, then evaluates the
-// derived metrics against that base. A nil registry yields a zero
-// Snapshot.
-func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{
+// emptySnapshot is a snapshot with no metrics, maps ready.
+func emptySnapshot() Snapshot {
+	return Snapshot{
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramSnapshot{},
 	}
+}
+
+// Snapshot captures the current value of every metric, then evaluates the
+// derived metrics against that base. A nil registry yields a zero
+// Snapshot.
+func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
-		return s
+		return emptySnapshot()
 	}
+	s := emptySnapshot()
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for n, c := range r.counters {

@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets drive the Builder and the research-topology
+// generator from arbitrary byte strings. The driver respects the
+// Builder's documented preconditions (those panic by contract) and
+// asserts what the package promises beyond them: construction never
+// panics, Build either validates or returns an error, and the whole
+// process is a pure function of the input bytes — same bytes, same
+// topology, same error.
+
+type opReader struct {
+	data []byte
+	i    int
+}
+
+func (r *opReader) next() byte {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	v := r.data[r.i]
+	r.i++
+	return v
+}
+
+func invert(rel Rel) Rel {
+	switch rel {
+	case Customer:
+		return Provider
+	case Provider:
+		return Customer
+	default:
+		return Peer
+	}
+}
+
+// buildFromOps replays a byte string as a builder op sequence and
+// returns a rendering of the built topology (or Build's error).
+func buildFromOps(data []byte) (string, error) {
+	r := &opReader{data: data}
+	b := NewBuilder()
+	var ases []ASN
+	declared := map[ASN]bool{}
+	var routers []RouterID
+	var routerAS []ASN
+	rels := map[asnPair]Rel{}
+	relPick := [...]Rel{Customer, Peer, Provider}
+
+	steps := 2 + int(r.next()%48)
+	for i := 0; i < steps; i++ {
+		switch r.next() % 4 {
+		case 0: // declare an AS (once; twice panics by contract)
+			n := ASN(1 + r.next()%6)
+			if !declared[n] {
+				declared[n] = true
+				ases = append(ases, n)
+				b.AddAS(n, ASKind(r.next()%3), "")
+			}
+		case 1: // add a router to a declared AS
+			if len(ases) > 0 {
+				as := ases[int(r.next())%len(ases)]
+				routers = append(routers, b.AddRouter(as, ""))
+				routerAS = append(routerAS, as)
+			}
+		default: // link two routers, intra or inter as their ASes dictate
+			if len(routers) < 2 {
+				continue
+			}
+			x := int(r.next()) % len(routers)
+			y := int(r.next()) % len(routers)
+			if routerAS[x] == routerAS[y] {
+				if x != y {
+					b.Connect(routers[x], routers[y], 1+int(r.next()%5))
+				}
+				continue
+			}
+			// Reuse any previously recorded relationship for the AS pair:
+			// a conflicting redeclaration panics by contract.
+			key := asnPair{routerAS[x], routerAS[y]}
+			rel := relPick[r.next()%3]
+			if prev, ok := rels[key]; ok {
+				rel = prev
+			}
+			b.Interconnect(routers[x], routers[y], rel)
+			rels[key] = rel
+			rels[asnPair{key.b, key.a}] = invert(rel)
+		}
+	}
+	t, err := b.Build()
+	if err != nil {
+		return "", err
+	}
+	return summarize(t), nil
+}
+
+// summarize renders every observable fact of a topology in a fixed
+// order, so two renderings are comparable byte-for-byte.
+func summarize(t *Topology) string {
+	var b strings.Builder
+	for _, n := range t.ASNumbers() {
+		as := t.AS(n)
+		fmt.Fprintf(&b, "AS%d kind=%s routers=%d\n", n, as.Kind, len(as.Routers))
+		for _, nb := range t.Neighbors(n) {
+			fmt.Fprintf(&b, "  rel AS%d->AS%d %s\n", n, nb, t.Rel(n, nb))
+		}
+	}
+	for i := 0; i < t.NumRouters(); i++ {
+		rt := t.Router(RouterID(i))
+		fmt.Fprintf(&b, "router %d as=%d name=%s addr=%s links=%d\n",
+			rt.ID, rt.AS, rt.Name, rt.Addr, len(rt.Links))
+	}
+	for i := 0; i < t.NumLinks(); i++ {
+		l := t.Link(LinkID(i))
+		fmt.Fprintf(&b, "link %d %d-%d cost=%d kind=%s\n", l.ID, l.A, l.B, l.Cost, l.Kind)
+	}
+	return b.String()
+}
+
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{10, 0, 1, 0, 2, 1, 0, 1, 0, 1, 1, 2, 0, 1, 3, 1, 0})
+	f.Add([]byte("0123456789abcdef0123456789abcdef"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s1, err1 := buildFromOps(data)
+		s2, err2 := buildFromOps(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("nondeterministic error text: %q vs %q", err1, err2)
+			}
+			return
+		}
+		if s1 != s2 {
+			t.Fatalf("nondeterministic topology:\n%s\nvs\n%s", s1, s2)
+		}
+	})
+}
+
+func FuzzGenerateResearch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 6, 4, 50, 25, 15, 1, 42, 1})
+	f.Add([]byte("topology"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &opReader{data: data}
+		cfg := ResearchConfig{
+			NumTier2:            int(r.next() % 6), // 0 exercises the invalid-config path
+			NumStubs:            int(r.next() % 16),
+			Tier2Routers:        int(r.next() % 8), // <2 exercises the invalid-config path
+			Tier2MultihomedFrac: float64(r.next()%101) / 100,
+			StubMultihomedFrac:  float64(r.next()%101) / 100,
+			StubsOnCoreFrac:     float64(r.next()%101) / 100,
+			DualHubTier2:        r.next()%2 == 1,
+			Seed:                int64(r.next()) | int64(r.next())<<8,
+		}
+		g1, err1 := GenerateResearch(cfg)
+		g2, err2 := GenerateResearch(cfg)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("nondeterministic error text: %q vs %q", err1, err2)
+			}
+			return
+		}
+		if err := g1.Topo.Validate(); err != nil {
+			t.Fatalf("generated topology fails validation: %v", err)
+		}
+		if s1, s2 := summarize(g1.Topo), summarize(g2.Topo); s1 != s2 {
+			t.Fatalf("same seed, different topology:\n%s\nvs\n%s", s1, s2)
+		}
+		if fmt.Sprint(g1.Cores, g1.Tier2, g1.Stubs) != fmt.Sprint(g2.Cores, g2.Tier2, g2.Stubs) {
+			t.Fatalf("same seed, different AS roles")
+		}
+	})
+}

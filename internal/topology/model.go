@@ -270,7 +270,10 @@ func (t *Topology) Validate() error {
 			return fmt.Errorf("link %d has non-positive cost %d", l.ID, l.Cost)
 		}
 	}
-	for _, as := range t.ases {
+	// Walk the sorted AS list, not the map: with several invalid ASes the
+	// reported error must not depend on map iteration order.
+	for _, n := range t.asList {
+		as := t.ases[n]
 		if len(as.Routers) == 0 {
 			return fmt.Errorf("AS%d has no routers", as.Num)
 		}
