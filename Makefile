@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint bench verify
+.PHONY: build test vet race lint bench smoke verify
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_pipeline.json < BENCH_pipeline.txt
 	@rm -f BENCH_pipeline.txt
 
+# End-to-end service check: build the real ndserve binary, start it on a
+# random port, diagnose over HTTP, drain it with SIGTERM.
+smoke:
+	$(GO) test -run TestSmoke -count=1 ./cmd/ndserve
+
 # The full verify loop: tier-1 (build + test) plus vet, the project
-# linter and the race detector. Run before every commit.
-verify: build vet lint test race
+# linter, the race detector and the service smoke test. Run before every
+# commit.
+verify: build vet lint test race smoke

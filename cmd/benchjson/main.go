@@ -29,11 +29,53 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric columns (e.g. the server
+	// benchmarks' "coalesce-hit-ratio") keyed by their unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// ServerSection summarizes the ndserve service benchmarks: what a warm
+// snapshot saves over a cold convergence, and how much identical
+// concurrent load the request coalescing absorbs.
+type ServerSection struct {
+	ColdNsPerOp      float64  `json:"cold_ns_per_op"`
+	WarmNsPerOp      float64  `json:"warm_ns_per_op"`
+	WarmSpeedup      float64  `json:"warm_speedup,omitempty"`
+	CoalesceHitRatio *float64 `json:"coalesce_hit_ratio,omitempty"`
 }
 
 // Report is the emitted document.
 type Report struct {
-	Benchmarks []Entry `json:"benchmarks"`
+	Benchmarks []Entry        `json:"benchmarks"`
+	Server     *ServerSection `json:"server,omitempty"`
+}
+
+// serverSection derives the server summary from the parsed entries; it is
+// nil when the server benchmarks are not part of the run.
+func serverSection(entries []Entry) *ServerSection {
+	var cold, warm *Entry
+	var ratio *float64
+	for i := range entries {
+		e := &entries[i]
+		switch e.Name {
+		case "BenchmarkServerDiagnoseCold":
+			cold = e
+		case "BenchmarkServerDiagnoseWarm":
+			warm = e
+		case "BenchmarkServerCoalesce":
+			if r, ok := e.Extra["coalesce-hit-ratio"]; ok {
+				ratio = &r
+			}
+		}
+	}
+	if cold == nil || warm == nil {
+		return nil
+	}
+	s := &ServerSection{ColdNsPerOp: cold.NsPerOp, WarmNsPerOp: warm.NsPerOp, CoalesceHitRatio: ratio}
+	if warm.NsPerOp > 0 {
+		s.WarmSpeedup = cold.NsPerOp / warm.NsPerOp
+	}
+	return s
 }
 
 func main() {
@@ -92,6 +134,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 			}
 		}
 	}
+	rep.Server = serverSection(rep.Benchmarks)
 	return rep, sc.Err()
 }
 
@@ -139,6 +182,14 @@ func parseBench(line string) (Entry, bool) {
 		case "allocs/op":
 			if a, err := strconv.ParseInt(val, 10, 64); err == nil {
 				e.AllocsPerOp = &a
+			}
+		default:
+			// Custom b.ReportMetric columns, keyed by unit.
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if e.Extra == nil {
+					e.Extra = map[string]float64{}
+				}
+				e.Extra[unit] = v
 			}
 		}
 	}

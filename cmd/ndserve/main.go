@@ -1,0 +1,178 @@
+// Command ndserve runs the NetDiagnoser diagnosis pipeline as a
+// long-running HTTP service. Registered scenarios are converged once into
+// warm snapshots; POST /v1/diagnose injects a failure set into a fork of
+// a snapshot and returns the hypothesis set in the same wire JSON the
+// netdiagnoser CLI prints with -json. Identical in-flight requests are
+// coalesced into one computation, admission is bounded by a queue that
+// sheds overload with 429, and SIGINT/SIGTERM triggers a graceful drain.
+//
+// Endpoints:
+//
+//	POST /v1/diagnose   {"scenario","algorithm","fail_links","fail_routers","timeout_ms"}
+//	GET  /v1/scenarios  registered scenarios and their warm state
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness (200 once every scenario is warm)
+//
+// With -watch, ndserve also runs the continuous monitoring loop of the
+// paper's deployment model (§6): the watched scenario is measured every
+// -watch-interval, and alarms confirmed by the transient-filtering
+// detector are diagnosed through the same admission queue as the HTTP
+// requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"netdiag"
+	"netdiag/internal/monitor"
+	"netdiag/internal/probe"
+	"netdiag/internal/server"
+	"netdiag/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "HTTP listen address (use port 0 for a random port)")
+		par          = flag.Int("parallelism", 0, "simulation/diagnosis workers per request (0 = GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "concurrent diagnosis computations (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 16, "requests allowed to wait beyond the executing ones before shedding with 429")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request computation cap (requests may lower it via timeout_ms)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "bound on the graceful drain after SIGINT/SIGTERM")
+		scenarios    = flag.String("scenarios", "fig1,fig2", "comma-separated scenarios to register: fig1, fig2, research-<seed>")
+		debugAddr    = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof for the telemetry registry on this address")
+		watch        = flag.String("watch", "", "scenario to measure continuously, diagnosing confirmed alarms through the queue")
+		watchEvery   = flag.Duration("watch-interval", 5*time.Second, "measurement round period for -watch")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	reg, err := buildRegistry(*scenarios)
+	if err != nil {
+		fatal(err)
+	}
+	tele := telemetry.New()
+	srv := server.New(server.Config{
+		Scenarios:      reg,
+		Parallelism:    *par,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
+		Telemetry:      tele,
+		Logger:         logger,
+	})
+
+	if *debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(*debugAddr, tele)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		logger.Info("debug server up", "addr", dbg.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The smoke test (and port-0 users generally) parse this line to find
+	// the bound address; keep its shape stable.
+	fmt.Printf("ndserve: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *watch != "" {
+		if !reg.Has(*watch) {
+			fatal(fmt.Errorf("-watch scenario %q is not registered", *watch))
+		}
+		go runWatch(ctx, srv, tele, logger, *watch, *watchEvery)
+	}
+
+	if err := srv.Serve(ctx, ln); err != nil {
+		fatal(err)
+	}
+	logger.Info("drained cleanly, exiting")
+}
+
+// buildRegistry resolves the -scenarios list into a registry.
+func buildRegistry(list string) (*server.Registry, error) {
+	reg := server.NewRegistry()
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		switch {
+		case name == "":
+		case name == "fig1":
+			if err := reg.Register(name, server.Fig1Scenario); err != nil {
+				return nil, err
+			}
+		case name == "fig2":
+			if err := reg.Register(name, server.Fig2Scenario); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(name, "research-"):
+			seed, err := strconv.ParseInt(strings.TrimPrefix(name, "research-"), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad research scenario %q: %w", name, err)
+			}
+			if err := reg.Register(name, server.ResearchScenario(seed, 8)); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unknown scenario %q (want fig1, fig2 or research-<seed>)", name)
+		}
+	}
+	if len(reg.Names()) == 0 {
+		return nil, fmt.Errorf("-scenarios registered nothing")
+	}
+	return reg, nil
+}
+
+// runWatch drives the monitor.Watcher: one measurement round of the
+// watched scenario per tick, confirmed alarms posted into the server's
+// admission queue.
+func runWatch(ctx context.Context, srv *server.Server, tele *telemetry.Registry,
+	logger *slog.Logger, name string, every time.Duration) {
+	w := monitor.NewWatcher(monitor.Config{Telemetry: tele})
+	rounds := make(chan *probe.Mesh)
+	go func() {
+		defer close(rounds)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			m, err := srv.MeshScenario(ctx, name)
+			if err != nil {
+				logger.Warn("watch measurement failed", "scenario", name, "err", err)
+				continue
+			}
+			select {
+			case rounds <- m:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	if err := w.Run(ctx, rounds, srv.AlarmSink(name, netdiag.NDEdgeAlgo)); err != nil && ctx.Err() == nil {
+		logger.Warn("watch loop ended", "err", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ndserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSmoke is the end-to-end service check behind `make smoke`: build
+// the real binary, start it on a random port, diagnose over HTTP, then
+// shut it down with SIGTERM and require a clean exit.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the ndserve binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ndserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ndserve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-scenarios", "fig1,fig2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no stdout line from ndserve: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(line[i+len(marker):])
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	waitOK := func(path string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := client.Get(base + path)
+			if err == nil {
+				code := resp.StatusCode
+				resp.Body.Close()
+				if code == http.StatusOK {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never returned 200 (last err %v)", path, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitOK("/healthz")
+	waitOK("/readyz")
+
+	resp, err := client.Get(base + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scenarios []struct {
+		Name string `json:"name"`
+		Warm bool   `json:"warm"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&scenarios); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(scenarios) != 2 || scenarios[0].Name != "fig1" || scenarios[1].Name != "fig2" {
+		t.Fatalf("scenario listing = %+v", scenarios)
+	}
+
+	resp, err = client.Post(base+"/v1/diagnose", "application/json",
+		strings.NewReader(`{"scenario":"fig2","algorithm":"nd-edge","fail_links":[["b1","b2"]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire struct {
+		Algorithm  string `json:"algorithm"`
+		Hypothesis []any  `json:"hypothesis"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || wire.Algorithm != "nd-edge" || len(wire.Hypothesis) == 0 {
+		t.Fatalf("diagnose = %d %+v, want 200 with an nd-edge hypothesis", resp.StatusCode, wire)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("ndserve exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ndserve did not exit after SIGTERM")
+	}
+}

@@ -13,13 +13,11 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
-	"strings"
 
 	"netdiag"
 	"netdiag/internal/scenario"
@@ -72,18 +70,19 @@ func main() {
 		lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 		opts = append(opts, netdiag.WithLogger(lg))
 	}
-	switch strings.ToLower(*algo) {
-	case "tomo":
-		opts = append(opts, netdiag.WithAlgorithm(netdiag.TomoAlgo))
-	case "nd-edge", "ndedge":
-		opts = append(opts, netdiag.WithAlgorithm(netdiag.NDEdgeAlgo))
-	case "nd-bgpigp", "ndbgpigp":
+	algorithm, err := netdiag.ParseAlgorithm(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	opts = append(opts, netdiag.WithAlgorithm(algorithm))
+	switch algorithm {
+	case netdiag.NDBgpIgpAlgo:
 		ri := sc.RoutingInfo()
 		if ri == nil {
 			fatal(fmt.Errorf("nd-bgpigp requires a \"routing\" section in the scenario"))
 		}
-		opts = append(opts, netdiag.WithAlgorithm(netdiag.NDBgpIgpAlgo), netdiag.WithRoutingInfo(ri))
-	case "nd-lg", "ndlg":
+		opts = append(opts, netdiag.WithRoutingInfo(ri))
+	case netdiag.NDLGAlgo:
 		lg := sc.LG()
 		if lg == nil {
 			fatal(fmt.Errorf("nd-lg requires a \"looking_glasses\" section in the scenario"))
@@ -92,12 +91,7 @@ func main() {
 		if ri == nil {
 			ri = &netdiag.RoutingInfo{}
 		}
-		opts = append(opts,
-			netdiag.WithAlgorithm(netdiag.NDLGAlgo),
-			netdiag.WithRoutingInfo(ri),
-			netdiag.WithLookingGlass(lg))
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		opts = append(opts, netdiag.WithRoutingInfo(ri), netdiag.WithLookingGlass(lg))
 	}
 
 	ctx := context.Background()
@@ -116,36 +110,16 @@ func main() {
 	}
 
 	if *asJSON {
-		type jsonLink struct {
-			Link string `json:"link"`
-			Phys string `json:"phys,omitempty"`
-			ASes []int  `json:"ases,omitempty"`
-		}
-		out := struct {
-			Algorithm   string     `json:"algorithm"`
-			Hypothesis  []jsonLink `json:"hypothesis"`
-			Unexplained int        `json:"unexplained_failures"`
-		}{Algorithm: *algo, Unexplained: res.UnexplainedFailures}
-		for _, h := range res.Hypothesis {
-			jl := jsonLink{Link: display(h.Link)}
-			if h.PhysKnown {
-				jl.Phys = h.Phys.String()
-			}
-			for _, a := range h.ASes {
-				jl.ASes = append(jl.ASes, int(a))
-			}
-			out.Hypothesis = append(out.Hypothesis, jl)
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		// The exact wire type and encoder the ndserve HTTP API uses, so a
+		// CLI run is byte-diffable against a served diagnosis.
+		if err := res.Wire(algorithm.Slug()).Encode(os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	fmt.Printf("%s hypothesis set (%d links, %d greedy iterations):\n",
-		*algo, len(res.Hypothesis), res.Iterations)
+		algorithm.Slug(), len(res.Hypothesis), res.Iterations)
 	for _, h := range res.Hypothesis {
 		if *verbose {
 			extra := ""

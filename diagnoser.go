@@ -2,7 +2,9 @@ package netdiag
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
+	"strings"
 
 	"netdiag/internal/core"
 	"netdiag/internal/netsim"
@@ -27,6 +29,40 @@ const (
 	// (§3.4); supply the oracle with WithLookingGlass.
 	NDLGAlgo
 )
+
+// ParseAlgorithm resolves a user-facing algorithm name ("tomo", "nd-edge",
+// "nd-bgpigp", "nd-lg", case-insensitive, dashes optional) to the Algorithm
+// constant. The CLI flags and the ndserve request decoder both go through
+// here, so the two front ends accept exactly the same names.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "tomo":
+		return TomoAlgo, nil
+	case "nd-edge", "ndedge":
+		return NDEdgeAlgo, nil
+	case "nd-bgpigp", "ndbgpigp":
+		return NDBgpIgpAlgo, nil
+	case "nd-lg", "ndlg":
+		return NDLGAlgo, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want tomo, nd-edge, nd-bgpigp or nd-lg)", s)
+}
+
+// Slug returns the canonical lower-case wire name of the algorithm — the
+// form ParseAlgorithm accepts and the JSON wire results carry.
+func (a Algorithm) Slug() string {
+	switch a {
+	case TomoAlgo:
+		return "tomo"
+	case NDEdgeAlgo:
+		return "nd-edge"
+	case NDBgpIgpAlgo:
+		return "nd-bgpigp"
+	case NDLGAlgo:
+		return "nd-lg"
+	}
+	return "algorithm-?"
+}
 
 // String returns the paper's name for the algorithm.
 func (a Algorithm) String() string {

@@ -19,6 +19,7 @@
 package bgp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -194,6 +195,18 @@ type State struct {
 // prefix's iteration fails to reach a fixpoint within the round cap, which
 // for relationship-consistent topologies indicates a configuration bug.
 func Compute(cfg Config) (*State, error) {
+	return ComputeCtx(context.Background(), cfg)
+}
+
+// ComputeCtx is Compute with cancellation: ctx is checked between the
+// synchronous rounds of every prefix's fixpoint and between the per-prefix
+// tasks of the fan-out, so a served diagnosis with a deadline aborts the
+// convergence promptly with ctx.Err(). The converged state is identical to
+// Compute for an uncancelled context. A nil ctx means context.Background().
+func ComputeCtx(ctx context.Context, cfg Config) (*State, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.IsLinkUp == nil {
 		cfg.IsLinkUp = func(topology.LinkID) bool { return true }
 	}
@@ -220,8 +233,8 @@ func Compute(cfg Config) (*State, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	err := pool.ForEachM(nil, workers, len(s.prefixes), func(i int) error {
-		ps, err := s.convergePrefix(s.prefixes[i], maxRounds)
+	err := pool.ForEachM(ctx, workers, len(s.prefixes), func(i int) error {
+		ps, err := s.convergePrefix(ctx, s.prefixes[i], maxRounds)
 		if err != nil {
 			return err
 		}
@@ -262,13 +275,17 @@ func (s *State) buildSessions() {
 	}
 }
 
-// convergePrefix runs the synchronous fixpoint for one prefix.
-func (s *State) convergePrefix(p Prefix, maxRounds int) (*prefixState, error) {
+// convergePrefix runs the synchronous fixpoint for one prefix, checking ctx
+// between rounds so long convergences abort promptly under a deadline.
+func (s *State) convergePrefix(ctx context.Context, p Prefix, maxRounds int) (*prefixState, error) {
 	ps := &prefixState{
 		best:  make([]*Route, s.cfg.Topo.NumRouters()),
 		adjIn: map[topology.RouterID]map[topology.RouterID]*Route{},
 	}
 	for ps.rounds = 1; ps.rounds <= maxRounds; ps.rounds++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !s.stepPrefix(p, ps) {
 			return ps, nil
 		}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WireHyp is one hypothesis entry in the stable JSON wire form shared by
+// the netdiagnoser CLI (-json) and the ndserve diagnosis service. The link
+// is rendered with Display (logical-node keys collapse to the paper's
+// "router(AS)" form), so the wire form is human-readable and diffable.
+type WireHyp struct {
+	Link string `json:"link"`
+	Phys string `json:"phys,omitempty"`
+	ASes []int  `json:"ases,omitempty"`
+}
+
+// WireResult is the stable JSON wire form of a diagnosis Result. The CLI
+// and the ndserve HTTP API both emit exactly this shape through Encode, so
+// a served diagnosis is byte-comparable to a one-shot CLI run. Telemetry
+// spans are deliberately excluded: the wire form is identical whether or
+// not the run was observed.
+type WireResult struct {
+	Algorithm   string    `json:"algorithm"`
+	Hypothesis  []WireHyp `json:"hypothesis"`
+	Unexplained int       `json:"unexplained_failures"`
+	Iterations  int       `json:"iterations"`
+	SuspectASes []int     `json:"suspect_ases,omitempty"`
+}
+
+// Wire converts the result into its wire form under the given algorithm
+// name. Hypothesis order (sorted by link) and AS order (ascending) are
+// inherited from Result, so the wire form is deterministic.
+func (r *Result) Wire(algorithm string) *WireResult {
+	w := &WireResult{
+		Algorithm:   algorithm,
+		Unexplained: r.UnexplainedFailures,
+		Iterations:  r.Iterations,
+	}
+	for _, h := range r.Hypothesis {
+		wh := WireHyp{Link: Display(h.Link.From) + "->" + Display(h.Link.To)}
+		if h.PhysKnown {
+			wh.Phys = h.Phys.String()
+		}
+		for _, a := range h.ASes {
+			wh.ASes = append(wh.ASes, int(a))
+		}
+		w.Hypothesis = append(w.Hypothesis, wh)
+	}
+	for _, a := range r.ASes() {
+		w.SuspectASes = append(w.SuspectASes, int(a))
+	}
+	return w
+}
+
+// Encode writes the canonical rendering of the wire form: two-space
+// indented JSON with a trailing newline. Every producer (CLI, server) uses
+// this single encoder so outputs are byte-identical.
+func (w *WireResult) Encode(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(w)
+}

@@ -1,0 +1,62 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"netdiag/internal/probe"
+)
+
+func TestWatcherPostsConfirmedAlarms(t *testing.T) {
+	w := NewWatcher(Config{Confirm: 2})
+	rounds := make(chan *probe.Mesh, 8)
+	// healthy, transient blip, recovery, then a confirmed 2-round failure.
+	rounds <- mesh(true, true)
+	rounds <- mesh(false, true)
+	rounds <- mesh(true, true)
+	rounds <- mesh(false, true)
+	rounds <- mesh(false, true)
+	close(rounds)
+
+	var alarms []*Alarm
+	err := w.Run(context.Background(), rounds, func(_ context.Context, a *Alarm) {
+		alarms = append(alarms, a)
+	})
+	if err != nil {
+		t.Fatalf("Run = %v, want nil on closed channel", err)
+	}
+	if len(alarms) != 1 {
+		t.Fatalf("got %d alarms, want 1 (transient suppressed, failure confirmed)", len(alarms))
+	}
+	if alarms[0].Round != 5 {
+		t.Fatalf("alarm round = %d, want 5", alarms[0].Round)
+	}
+	if w.Detector().Round() != 5 {
+		t.Fatalf("observed rounds = %d, want 5", w.Detector().Round())
+	}
+}
+
+func TestWatcherStopsOnContext(t *testing.T) {
+	w := NewWatcher(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	rounds := make(chan *probe.Mesh) // never fed, never closed
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx, rounds, nil) }()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+}
+
+func TestWatcherNilSink(t *testing.T) {
+	w := NewWatcher(Config{Confirm: 1})
+	rounds := make(chan *probe.Mesh, 2)
+	rounds <- mesh(true, true)
+	rounds <- mesh(false, true)
+	close(rounds)
+	// A confirmed alarm with no sink must not panic.
+	if err := w.Run(context.Background(), rounds, nil); err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+}

@@ -6,6 +6,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -243,6 +244,16 @@ func (n *Network) ClearFaults() {
 
 // Reconverge recomputes IGP and BGP state for the current fault set.
 func (n *Network) Reconverge() error {
+	return n.ReconvergeCtx(context.Background())
+}
+
+// ReconvergeCtx is Reconverge with cancellation: ctx flows into the BGP
+// fixpoint, which checks it between synchronous rounds and between
+// per-prefix tasks, so a convergence under a per-request deadline aborts
+// promptly with ctx.Err() and leaves the network unconverged. For an
+// uncancelled context the converged state is identical to Reconverge. This
+// is the warm-path entry point the ndserve diagnosis service forks through.
+func (n *Network) ReconvergeCtx(ctx context.Context) error {
 	isUp := n.LinkIsUp
 	start := n.met.phaseStart()
 	n.igp = igp.NewCached(n.topo, isUp, n.spfCache, n.parallelism)
@@ -250,7 +261,7 @@ func (n *Network) Reconverge() error {
 		n.met.spfNS.Observe(int64(telemetry.Since(start)))
 		start = telemetry.Now()
 	}
-	st, err := bgp.Compute(bgp.Config{
+	st, err := bgp.ComputeCtx(ctx, bgp.Config{
 		Topo:        n.topo,
 		IGP:         n.igp,
 		IsLinkUp:    isUp,
@@ -271,6 +282,10 @@ func (n *Network) Reconverge() error {
 	n.converged = true
 	return nil
 }
+
+// Converged reports whether the network's routing state is current (no
+// fault mutations are pending a Reconverge).
+func (n *Network) Converged() bool { return n.converged }
 
 // Checkpoint captures the converged routing state so experiment loops can
 // return to the healthy network without recomputing convergence.
@@ -435,17 +450,29 @@ func (n *Network) AllPaths(src, dst topology.RouterID, limit int) []*probe.Path 
 // WithParallelism > 1; since each traceroute only reads the converged
 // forwarding state, the mesh is identical at any parallelism level.
 func (n *Network) Mesh(sensors []topology.RouterID) *probe.Mesh {
+	m, _ := n.MeshCtx(context.Background(), sensors)
+	return m
+}
+
+// MeshCtx is Mesh with cancellation: ctx is checked between sensor-pair
+// traceroutes, so a full-mesh measurement under a per-request deadline
+// aborts promptly with ctx.Err(). For an uncancelled context the mesh is
+// identical to Mesh at any parallelism level.
+func (n *Network) MeshCtx(ctx context.Context, sensors []topology.RouterID) (*probe.Mesh, error) {
 	if !n.converged {
 		panic("netsim: Mesh on unconverged network")
 	}
 	start := n.met.phaseStart()
-	m := probe.FillMeshM(sensors, n.parallelism, func(i, j int) *probe.Path {
+	m, err := probe.FillMeshCtx(ctx, sensors, n.parallelism, func(i, j int) *probe.Path {
 		return n.Traceroute(sensors[i], sensors[j])
 	}, n.met.probeMetrics())
+	if err != nil {
+		return nil, err
+	}
 	if n.met != nil {
 		n.met.meshNS.Observe(int64(telemetry.Since(start)))
 	}
-	return m
+	return m, nil
 }
 
 // Withdrawal is a BGP withdrawal observed at an AS-X border router from an

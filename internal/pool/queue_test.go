@@ -1,0 +1,83 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"netdiag/internal/telemetry"
+)
+
+func TestQueueRunsJobs(t *testing.T) {
+	q := NewQueue(2, 8, nil)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		for !q.TrySubmit(func() { ran.Add(1); wg.Done() }) {
+			// Capacity 8 with 2 workers: spin until a slot frees up.
+		}
+	}
+	wg.Wait()
+	q.Close()
+	if got := ran.Load(); got != 20 {
+		t.Fatalf("ran %d jobs, want 20", got)
+	}
+}
+
+func TestQueueShedsWhenFull(t *testing.T) {
+	reg := telemetry.New()
+	q := NewQueue(1, 1, reg)
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	// Occupy the single worker...
+	if !q.TrySubmit(func() { <-gate; close(done) }) {
+		t.Fatal("first submit refused")
+	}
+	// ...and fill the single queue slot. The worker may not have picked the
+	// first job up yet, so allow one retry round for the handoff.
+	var queued bool
+	for i := 0; i < 1_000_000 && !queued; i++ {
+		queued = q.TrySubmit(func() {})
+	}
+	if !queued {
+		t.Fatal("could not fill the queue slot")
+	}
+	// Worker busy + queue full: the next submission must shed.
+	shedBefore := reg.Snapshot().Counters["pool.queue_shed"]
+	if q.TrySubmit(func() {}) {
+		t.Fatal("submit succeeded on a full queue")
+	}
+	if got := reg.Snapshot().Counters["pool.queue_shed"]; got <= shedBefore {
+		t.Fatalf("pool.queue_shed = %d, want > %d", got, shedBefore)
+	}
+	close(gate)
+	<-done
+	q.Close()
+}
+
+func TestQueueCloseStopsAdmissionAndDrains(t *testing.T) {
+	reg := telemetry.New()
+	q := NewQueue(2, 4, reg)
+	var ran atomic.Int64
+	for i := 0; i < 4; i++ {
+		if !q.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatalf("submit %d refused", i)
+		}
+	}
+	q.Close()
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("accepted jobs ran %d times after Close, want 4 (drain)", got)
+	}
+	if q.TrySubmit(func() {}) {
+		t.Fatal("submit succeeded after Close")
+	}
+	q.Close() // idempotent
+	snap := reg.Snapshot()
+	if snap.Counters["pool.queue_submitted"] != 4 || snap.Counters["pool.queue_executed"] != 4 {
+		t.Fatalf("counters = %v, want submitted=executed=4", snap.Counters)
+	}
+	if snap.Gauges["pool.queue_depth"] != 0 {
+		t.Fatalf("queue depth gauge = %d after drain, want 0", snap.Gauges["pool.queue_depth"])
+	}
+}

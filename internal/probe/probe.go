@@ -4,6 +4,7 @@
 package probe
 
 import (
+	"context"
 	"fmt"
 
 	"netdiag/internal/pool"
@@ -130,6 +131,16 @@ func FillMesh(sensors []topology.RouterID, workers int, trace func(i, j int) *Pa
 // pair and every unreachable pair are counted, and the per-pair fan-out
 // reports pool task metrics. A nil met reproduces FillMesh exactly.
 func FillMeshM(sensors []topology.RouterID, workers int, trace func(i, j int) *Path, met *Metrics) *Mesh {
+	m, _ := FillMeshCtx(context.Background(), sensors, workers, trace, met)
+	return m
+}
+
+// FillMeshCtx is FillMeshM with cancellation: ctx is checked between
+// sensor-pair tasks, so a mesh measurement under a per-request deadline
+// aborts promptly and returns ctx.Err() with a partially filled mesh. For
+// an uncancelled context the mesh is identical to FillMeshM at any
+// parallelism level. A nil ctx means context.Background().
+func FillMeshCtx(ctx context.Context, sensors []topology.RouterID, workers int, trace func(i, j int) *Path, met *Metrics) (*Mesh, error) {
 	m := NewMesh(sensors)
 	n := len(sensors)
 	type job struct{ i, j int }
@@ -141,12 +152,15 @@ func FillMeshM(sensors []topology.RouterID, workers int, trace func(i, j int) *P
 			}
 		}
 	}
-	_ = pool.ForEachM(nil, workers, len(jobs), func(k int) error {
+	err := pool.ForEachM(ctx, workers, len(jobs), func(k int) error {
 		m.Paths[jobs[k].i][jobs[k].j] = trace(jobs[k].i, jobs[k].j)
 		return nil
 	}, met.poolMetrics())
+	if err != nil {
+		return m, err
+	}
 	met.meshFilled(m)
-	return m
+	return m, nil
 }
 
 // Reachability returns the reachability matrix R of the paper: R[i][j]

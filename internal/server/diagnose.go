@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"slices"
+	"sort"
+	"strings"
+
+	"netdiag"
+	"netdiag/internal/core"
+	"netdiag/internal/experiment"
+	"netdiag/internal/lookingglass"
+	"netdiag/internal/monitor"
+)
+
+// DiagnoseRequest is the POST /v1/diagnose body: a registered scenario, a
+// failure set to inject into a fork of its warm snapshot, and the
+// algorithm to run on the resulting measurements. Router references are
+// topology router names (or numeric router IDs).
+type DiagnoseRequest struct {
+	Scenario string `json:"scenario"`
+	// Algorithm is a netdiag.ParseAlgorithm name; empty means "tomo".
+	Algorithm string `json:"algorithm,omitempty"`
+	// FailLinks lists physical links to fail, each as the pair of router
+	// references at its ends.
+	FailLinks [][2]string `json:"fail_links,omitempty"`
+	// FailRouters lists routers to fail entirely.
+	FailRouters []string `json:"fail_routers,omitempty"`
+	// TimeoutMS caps this request's computation time in milliseconds;
+	// zero (or anything above it) means the server's request timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// requestError is an error with a fixed HTTP status, raised for inputs
+// the computation discovers to be invalid (unknown router, no such link).
+type requestError struct {
+	status int
+	msg    string
+}
+
+func (e *requestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &requestError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// canonicalKey normalizes a request to its coalescing identity: two
+// requests that differ only in failure order, duplicate entries or link
+// endpoint order produce the same key and share one computation.
+func canonicalKey(scenarioName string, algo netdiag.Algorithm, links [][2]string, routers []string) string {
+	tok := make([]string, 0, len(links)+len(routers))
+	for _, l := range links {
+		a, b := l[0], l[1]
+		if b < a {
+			a, b = b, a
+		}
+		tok = append(tok, "L:"+a+"~"+b)
+	}
+	for _, r := range routers {
+		tok = append(tok, "R:"+r)
+	}
+	sort.Strings(tok)
+	tok = slices.Compact(tok)
+	return scenarioName + "|" + algo.Slug() + "|" + strings.Join(tok, ",")
+}
+
+// compute runs one diagnosis against a fork of the scenario's warm
+// snapshot and renders the stable wire JSON. This is the deterministic
+// core of the service: the same scenario, failure set and algorithm yield
+// the same bytes at any parallelism, with telemetry on or off, and match
+// the one-shot netdiagnoser CLI on the equivalent exported scenario.
+func (s *Server) compute(ctx context.Context, req *DiagnoseRequest, algo netdiag.Algorithm) ([]byte, error) {
+	snap, err := s.store.Get(ctx, req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	fork := snap.Net.Fork()
+	topo := snap.Scenario.Topo
+	for _, l := range req.FailLinks {
+		a, ok := snap.Router(l[0])
+		if !ok {
+			return nil, badRequestf("unknown router %q in fail_links", l[0])
+		}
+		b, ok := snap.Router(l[1])
+		if !ok {
+			return nil, badRequestf("unknown router %q in fail_links", l[1])
+		}
+		link, ok := topo.LinkBetween(a, b)
+		if !ok {
+			return nil, badRequestf("no link between %q and %q", l[0], l[1])
+		}
+		fork.FailLink(link.ID)
+	}
+	for _, rr := range req.FailRouters {
+		r, ok := snap.Router(rr)
+		if !ok {
+			return nil, badRequestf("unknown router %q in fail_routers", rr)
+		}
+		fork.FailRouter(r)
+	}
+	if err := fork.ReconvergeCtx(ctx); err != nil {
+		return nil, err
+	}
+	after, err := fork.MeshCtx(ctx, snap.Scenario.Sensors)
+	if err != nil {
+		return nil, err
+	}
+	meas := experiment.ToMeasurementsMapped(snap.BeforeMesh, after, snap.IP2AS.Lookup)
+
+	opts := []netdiag.DiagnoserOption{
+		netdiag.WithAlgorithm(algo),
+		netdiag.WithParallelism(s.par),
+		netdiag.WithTelemetry(s.tele),
+	}
+	asx := snap.Scenario.ASX
+	if algo == netdiag.NDBgpIgpAlgo || algo == netdiag.NDLGAlgo {
+		ri := &netdiag.RoutingInfo{
+			ASX:          asx,
+			IGPDownLinks: experiment.AdaptIGPDowns(fork, asx),
+			Withdrawals: experiment.AdaptWithdrawals(topo,
+				fork.ObserveWithdrawals(snap.BeforeBGP, asx), snap.SensorASes),
+		}
+		opts = append(opts, netdiag.WithRoutingInfo(ri))
+	}
+	if algo == netdiag.NDLGAlgo {
+		opts = append(opts,
+			netdiag.WithLookingGlass(lookingglass.New(fork.BGP(), snap.BeforeBGP, nil, asx, snap.Prefixes)))
+	}
+	res, err := netdiag.New(opts...).Diagnose(ctx, meas)
+	if err != nil {
+		return nil, err
+	}
+	return encodeWire(res, algo)
+}
+
+// computeAlarm diagnoses a monitor alarm: the alarm's own T-/T+ meshes
+// are the measurements, so no fault is injected — the failure is already
+// in the data. Only the measurement-only algorithms apply here (the
+// control-plane feeds of nd-bgpigp/nd-lg come from fault injection, which
+// an observed alarm does not have).
+func (s *Server) computeAlarm(ctx context.Context, scenarioName string, algo netdiag.Algorithm, a *monitor.Alarm) ([]byte, error) {
+	if algo != netdiag.TomoAlgo && algo != netdiag.NDEdgeAlgo {
+		return nil, badRequestf("alarm diagnosis supports tomo and nd-edge, not %s", algo.Slug())
+	}
+	snap, err := s.store.Get(ctx, scenarioName)
+	if err != nil {
+		return nil, err
+	}
+	meas := experiment.ToMeasurementsMapped(a.Baseline, a.Current, snap.IP2AS.Lookup)
+	res, err := netdiag.New(
+		netdiag.WithAlgorithm(algo),
+		netdiag.WithParallelism(s.par),
+		netdiag.WithTelemetry(s.tele),
+	).Diagnose(ctx, meas)
+	if err != nil {
+		return nil, err
+	}
+	return encodeWire(res, algo)
+}
+
+// encodeWire renders a result in the shared wire form — the exact bytes
+// the netdiagnoser CLI's -json flag prints.
+func encodeWire(res *netdiag.Result, algo netdiag.Algorithm) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := res.Wire(algo.Slug()).Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DiagnoseAlarm routes a confirmed monitor alarm through the same
+// admission queue, coalescing group and telemetry as the HTTP requests,
+// so monitoring-triggered diagnoses contend fairly with operator ones.
+// It blocks until the diagnosis completes or ctx ends, and returns
+// errShed when the queue refuses admission.
+func (s *Server) DiagnoseAlarm(ctx context.Context, scenarioName string, algo netdiag.Algorithm, a *monitor.Alarm) (*core.WireResult, error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	key := fmt.Sprintf("alarm|%s|%s|round%d", scenarioName, algo.Slug(), a.Round)
+	f, ok := s.flights.do(key, s.queue.TrySubmit, func() ([]byte, error) {
+		if s.draining.Load() {
+			return nil, errDraining
+		}
+		if s.testJobStart != nil {
+			s.testJobStart()
+		}
+		cctx, cancel := context.WithTimeout(s.lifeCtx, s.requestTimeout)
+		defer cancel()
+		return s.computeAlarm(cctx, scenarioName, algo, a)
+	})
+	if !ok {
+		s.shed.Inc()
+		return nil, errShed
+	}
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return nil, f.err
+		}
+		return decodeWire(f.body)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// AlarmSink adapts DiagnoseAlarm to the monitor.Watcher sink signature,
+// logging each outcome and feeding the "server.alarms_diagnosed" /
+// "server.alarms_failed" counters. This is what ndserve's -watch mode
+// wires between the watcher and the queue.
+func (s *Server) AlarmSink(scenarioName string, algo netdiag.Algorithm) func(context.Context, *monitor.Alarm) {
+	diagnosed := s.tele.Counter("server.alarms_diagnosed")
+	failed := s.tele.Counter("server.alarms_failed")
+	return func(ctx context.Context, a *monitor.Alarm) {
+		res, err := s.DiagnoseAlarm(ctx, scenarioName, algo, a)
+		if err != nil {
+			failed.Inc()
+			if s.log != nil {
+				s.log.Warn("alarm diagnosis failed",
+					"scenario", scenarioName, "round", a.Round, "err", err)
+			}
+			return
+		}
+		diagnosed.Inc()
+		if s.log != nil {
+			s.log.Info("alarm diagnosed", "scenario", scenarioName,
+				"round", a.Round, "algorithm", algo.Slug(),
+				"hypothesis", len(res.Hypothesis), "unexplained", res.Unexplained)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"sync"
+
+	"netdiag/internal/telemetry"
+)
+
+// flight is one in-flight diagnosis computation. Its result is final once
+// done closes; every coalesced request for the same key reads the same
+// bytes, which is what makes coalescing invisible to clients.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// flightGroup coalesces identical in-flight requests (singleflight): the
+// first request for a canonical key becomes the leader and submits one
+// computation; requests arriving before it completes attach to it instead
+// of queueing their own. Entries are removed as soon as the computation
+// finishes — this is request coalescing, not a response cache: a request
+// arriving after completion recomputes (against the warm snapshot).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
+}
+
+func newFlightGroup(tele *telemetry.Registry) *flightGroup {
+	return &flightGroup{
+		m:      map[string]*flight{},
+		hits:   tele.Counter("server.coalesce_hits"),
+		misses: tele.Counter("server.coalesce_misses"),
+	}
+}
+
+// do returns the flight for key, creating and submitting it when none is
+// in flight. The submit func must be non-blocking (pool.Queue.TrySubmit);
+// it is invoked under the group lock so that a shed admission leaves no
+// window for followers to attach to a flight that will never run. ok is
+// false only when this caller would have been the leader and admission
+// was refused — the caller sheds the request.
+func (g *flightGroup) do(key string, submit func(func()) bool, compute func() ([]byte, error)) (f *flight, ok bool) {
+	g.mu.Lock()
+	if f := g.m[key]; f != nil {
+		g.mu.Unlock()
+		g.hits.Inc()
+		return f, true
+	}
+	f = &flight{done: make(chan struct{})}
+	run := func() {
+		f.body, f.err = compute()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+	}
+	if !submit(run) {
+		g.mu.Unlock()
+		return nil, false
+	}
+	g.m[key] = f
+	g.misses.Inc()
+	g.mu.Unlock()
+	return f, true
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"netdiag/internal/telemetry"
+)
+
+// TestDiagnoseHammer fires many concurrent requests over a small key set
+// at one warm snapshot and checks the service stays consistent under
+// contention: every response is 200 (or an honest 429), and all 200
+// bodies for a key are byte-identical. Run under -race this doubles as
+// the data-race audit of the store/flight/queue interplay.
+func TestDiagnoseHammer(t *testing.T) {
+	reg := telemetry.New()
+	s := New(Config{Workers: 4, QueueDepth: 64, Telemetry: reg})
+	defer s.Close()
+	if err := s.WarmAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	bodies := []string{
+		`{"scenario":"fig2","algorithm":"tomo","fail_links":[["b1","b2"]]}`,
+		`{"scenario":"fig2","algorithm":"nd-edge","fail_links":[["b1","b2"]]}`,
+		`{"scenario":"fig2","algorithm":"nd-edge","fail_links":[["c1","c2"]]}`,
+		`{"scenario":"fig2","algorithm":"nd-bgpigp","fail_routers":["y1"]}`,
+	}
+	golden := make([][]byte, len(bodies))
+	for i, b := range bodies {
+		w := post(t, s.Handler(), b)
+		if w.Code != http.StatusOK {
+			t.Fatalf("golden %d: %d: %s", i, w.Code, w.Body.String())
+		}
+		golden[i] = w.Body.Bytes()
+	}
+
+	const goroutines, perG = 16, 5
+	errs := make(chan error, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := (g + i) % len(bodies)
+				w := post(t, s.Handler(), bodies[k])
+				switch w.Code {
+				case http.StatusOK:
+					if !bytes.Equal(w.Body.Bytes(), golden[k]) {
+						errs <- fmt.Errorf("key %d: bytes diverged under load", k)
+					}
+				case http.StatusTooManyRequests:
+					// Honest shedding is allowed under load.
+				default:
+					errs <- fmt.Errorf("key %d: status %d: %s", k, w.Code, w.Body.String())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["server.cold_converges"] != 2 {
+		t.Errorf("cold_converges = %d, want 2 (fig1+fig2 warmed once)", snap.Counters["server.cold_converges"])
+	}
+	total := snap.Counters["server.requests_total"]
+	if total != int64(goroutines*perG+len(bodies)) {
+		t.Errorf("requests_total = %d, want %d", total, goroutines*perG+len(bodies))
+	}
+}

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"netdiag"
+	"netdiag/internal/core"
+	"netdiag/internal/pool"
+	"netdiag/internal/probe"
+	"netdiag/internal/telemetry"
+	"netdiag/internal/topology"
+)
+
+var (
+	// errDraining is returned for work refused because the server is
+	// shutting down; it surfaces as HTTP 503.
+	errDraining = errors.New("server: draining")
+	// errShed is returned when the admission queue refuses a request; it
+	// surfaces as HTTP 429 with a Retry-After header.
+	errShed = errors.New("server: queue full")
+)
+
+// Config parameterizes a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Scenarios is the scenario registry; nil selects BuiltinRegistry().
+	Scenarios *Registry
+	// Parallelism bounds the workers each diagnosis and simulation phase
+	// uses (<= 0 selects GOMAXPROCS). It never changes results.
+	Parallelism int
+	// Workers is the number of concurrent diagnosis computations (<= 0
+	// selects GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the jobs waiting beyond the executing ones; a
+	// request arriving with the queue full is shed with HTTP 429. Zero
+	// selects 16; negative means no waiting room at all.
+	QueueDepth int
+	// RequestTimeout caps one diagnosis computation (and is the upper
+	// bound for per-request timeout_ms). Zero selects 30s.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful drain on shutdown. Zero selects 10s.
+	DrainTimeout time.Duration
+	// Telemetry receives the server, queue and pipeline metrics; nil
+	// disables them (and never changes results).
+	Telemetry *telemetry.Registry
+	// Logger receives structured request/lifecycle records; nil logs
+	// nothing.
+	Logger *slog.Logger
+}
+
+// Server is the long-running diagnosis service behind ndserve. It owns
+// the warm snapshot store, the coalescing group and the bounded admission
+// queue; Handler exposes the HTTP API and Serve runs the full lifecycle
+// including graceful drain.
+type Server struct {
+	reg            *Registry
+	store          *Store
+	queue          *pool.Queue
+	flights        *flightGroup
+	par            int
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+	tele           *telemetry.Registry
+	log            *slog.Logger
+	mux            *http.ServeMux
+
+	// lifeCtx scopes every computation to the server's lifetime, so an
+	// individual client disconnect never cancels a coalesced computation
+	// other clients are waiting on. It is cancelled at the end of drain.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+	draining   atomic.Bool
+	ready      atomic.Bool
+
+	requests *telemetry.Counter
+	shed     *telemetry.Counter
+	latency  *telemetry.Histogram
+
+	// testJobStart, when set by tests, runs at the start of every queued
+	// job — the seam deterministic coalescing/shedding/drain tests use to
+	// hold a worker busy.
+	testJobStart func()
+}
+
+// New builds a server from cfg. The scenario snapshots are converged
+// lazily (or eagerly via WarmAll / Serve); New itself is cheap.
+func New(cfg Config) *Server {
+	if cfg.Scenarios == nil {
+		cfg.Scenarios = BuiltinRegistry()
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	} else if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	s := &Server{
+		reg:            cfg.Scenarios,
+		store:          NewStore(cfg.Scenarios, cfg.Parallelism, cfg.Telemetry),
+		queue:          pool.NewQueue(cfg.Workers, cfg.QueueDepth, cfg.Telemetry),
+		flights:        newFlightGroup(cfg.Telemetry),
+		par:            cfg.Parallelism,
+		requestTimeout: cfg.RequestTimeout,
+		drainTimeout:   cfg.DrainTimeout,
+		tele:           cfg.Telemetry,
+		log:            cfg.Logger,
+		requests:       cfg.Telemetry.Counter("server.requests_total"),
+		shed:           cfg.Telemetry.Counter("server.requests_shed"),
+		latency:        cfg.Telemetry.Histogram("server.request_ns", telemetry.DurationBuckets),
+	}
+	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
+	cfg.Telemetry.Derive("server.coalesce_hit_ratio", func(snap telemetry.Snapshot) float64 {
+		return telemetry.Ratio(snap.Counters["server.coalesce_hits"], snap.Counters["server.coalesce_misses"])
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP API. Lifecycle (warm-up, drain) is the
+// caller's concern when serving this directly; Serve handles both.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// WarmAll eagerly converges every registered scenario (see Store.WarmAll)
+// and marks the server ready.
+func (s *Server) WarmAll(ctx context.Context) error {
+	if err := s.store.WarmAll(ctx); err != nil {
+		return err
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// Serve runs the server on ln until ctx is cancelled, then drains
+// gracefully: new and queued requests get 503, in-flight diagnoses run to
+// completion, and the whole drain is bounded by Config.DrainTimeout —
+// when it expires, remaining computations are cancelled. Scenario warm-up
+// runs in the background; /readyz flips to 200 when it finishes.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	go func() {
+		if err := s.WarmAll(ctx); err != nil && s.log != nil {
+			s.log.Warn("scenario warm-up failed", "err", err)
+		}
+	}()
+	srv := &http.Server{Handler: s.mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.drainTimeout)
+	defer cancel()
+	err := s.drain(dctx, srv)
+	<-serveErr // always http.ErrServerClosed after Shutdown
+	if err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	return nil
+}
+
+// drain performs the graceful shutdown sequence: stop admitting work,
+// close the listener, wait (bounded by ctx) for in-flight handlers, then
+// cancel whatever is still computing and retire the queue workers.
+func (s *Server) drain(ctx context.Context, srv *http.Server) error {
+	s.draining.Store(true)
+	s.ready.Store(false)
+	err := srv.Shutdown(ctx)
+	s.lifeCancel()
+	// Close drains jobs already accepted by the queue; they observe
+	// draining (or the cancelled lifeCtx) and finish immediately. Run it
+	// off this goroutine so a job stuck past lifeCancel cannot wedge the
+	// drain itself.
+	go s.queue.Close()
+	return err
+}
+
+// MeshScenario measures the scenario's current full mesh off the warm
+// snapshot — the measurement source for ndserve's -watch loop, standing
+// in for a real sensor overlay's periodic round.
+func (s *Server) MeshScenario(ctx context.Context, name string) (*probe.Mesh, error) {
+	snap, err := s.store.Get(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Net.MeshCtx(ctx, snap.Scenario.Sensors)
+}
+
+// Close force-stops the server's computations without the graceful
+// sequence; it is the test/teardown counterpart of Serve's drain.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.lifeCancel()
+	go s.queue.Close()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "warming")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// ScenarioInfo is one row of the GET /v1/scenarios listing.
+type ScenarioInfo struct {
+	Name    string       `json:"name"`
+	Sensors int          `json:"sensors"`
+	Routers int          `json:"routers"`
+	ASes    int          `json:"ases"`
+	ASX     topology.ASN `json:"asx"`
+	Warm    bool         `json:"warm"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	var infos []ScenarioInfo
+	for _, name := range s.reg.Names() {
+		scn, err := s.reg.Get(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		infos = append(infos, ScenarioInfo{
+			Name:    name,
+			Sensors: len(scn.Sensors),
+			Routers: scn.Topo.NumRouters(),
+			ASes:    len(scn.Topo.ASNumbers()),
+			ASX:     scn.ASX,
+			Warm:    s.store.IsWarm(name),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(infos); err != nil && s.log != nil {
+		s.log.Warn("encoding scenario listing", "err", err)
+	}
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	start := telemetry.Now()
+	s.requests.Inc()
+	defer func() { s.latency.Observe(telemetry.Since(start).Nanoseconds()) }()
+
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req DiagnoseRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	algoName := req.Algorithm
+	if algoName == "" {
+		algoName = "tomo"
+	}
+	algo, err := netdiag.ParseAlgorithm(algoName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !s.reg.Has(req.Scenario) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown scenario %q", req.Scenario))
+		return
+	}
+	timeout := s.requestTimeout
+	if t := time.Duration(req.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+
+	key := canonicalKey(req.Scenario, algo, req.FailLinks, req.FailRouters)
+	f, ok := s.flights.do(key, s.queue.TrySubmit, func() ([]byte, error) {
+		// A job that reaches a worker only after the drain began is
+		// "queued work" in the shutdown contract: reject it. The hook
+		// below stands in for a long computation in tests.
+		if s.draining.Load() {
+			return nil, errDraining
+		}
+		if s.testJobStart != nil {
+			s.testJobStart()
+		}
+		// The computation runs under the server's lifetime context plus
+		// the (leader's) timeout, never an individual request context:
+		// coalesced followers must not lose the result because the leader
+		// disconnected.
+		ctx, cancel := context.WithTimeout(s.lifeCtx, timeout)
+		defer cancel()
+		return s.compute(ctx, &req, algo)
+	})
+	if !ok {
+		s.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "diagnosis queue full")
+		return
+	}
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		writeError(w, http.StatusGatewayTimeout, "request context ended while waiting for diagnosis")
+		return
+	}
+	if f.err != nil {
+		writeError(w, statusFor(f.err), f.err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(f.body); err != nil && s.log != nil {
+		s.log.Warn("writing diagnosis response", "err", err)
+	}
+}
+
+// statusFor maps computation errors to HTTP statuses.
+func statusFor(err error) int {
+	var re *requestError
+	switch {
+	case errors.As(err, &re):
+		return re.status
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	resp := struct {
+		Error string `json:"error"`
+	}{Error: msg}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	_, _ = w.Write(b)
+}
+
+// decodeWire parses the wire JSON back into its struct form (the alarm
+// sink consumes results in process rather than over HTTP).
+func decodeWire(body []byte) (*core.WireResult, error) {
+	var res core.WireResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

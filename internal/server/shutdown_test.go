@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"netdiag/internal/telemetry"
+)
+
+// TestGracefulShutdown runs the full Serve lifecycle over a real listener
+// and pins the drain contract: in-flight diagnoses complete with 200,
+// queued ones are rejected with 503, new connections are refused because
+// the listener closes, and Serve returns nil within the drain timeout.
+func TestGracefulShutdown(t *testing.T) {
+	reg := telemetry.New()
+	s := New(Config{Workers: 1, QueueDepth: 1, Telemetry: reg, DrainTimeout: 10 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+
+	// Wait until warm-up finishes and the server reports ready.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s.testJobStart = func() {
+		started <- struct{}{}
+		<-gate
+	}
+	postJSON := func(body string) (*http.Response, error) {
+		return client.Post(base+"/v1/diagnose", "application/json", strings.NewReader(body))
+	}
+
+	// A executes on the single worker; B waits in the single queue slot.
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	aCh := make(chan result, 1)
+	bCh := make(chan result, 1)
+	go func() {
+		resp, err := postJSON(`{"scenario":"fig2","fail_links":[["b1","b2"]]}`)
+		aCh <- result{resp, err}
+	}()
+	<-started
+	go func() {
+		resp, err := postJSON(`{"scenario":"fig2","fail_links":[["c1","c2"]]}`)
+		bCh <- result{resp, err}
+	}()
+	waitCounter(t, reg, "pool.queue_submitted", 2)
+
+	// Begin the drain and wait until the server is refusing new work.
+	cancel()
+	for !s.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A fresh request must not be served: the listener is closing (dial
+	// error) or the draining check rejects it with 503.
+	if resp, err := postJSON(`{"scenario":"fig2","fail_routers":["y1"]}`); err == nil {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request during drain = %d, want 503 or refused connection", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Release the worker: A completes, B is rejected by the drain check.
+	close(gate)
+	a := <-aCh
+	if a.err != nil {
+		t.Fatalf("in-flight request failed: %v", a.err)
+	}
+	body, _ := io.ReadAll(a.resp.Body)
+	a.resp.Body.Close()
+	if a.resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("in-flight request = %d (%s), want 200 with a result", a.resp.StatusCode, body)
+	}
+	b := <-bCh
+	if b.err != nil {
+		t.Fatalf("queued request failed at transport level: %v", b.err)
+	}
+	b.resp.Body.Close()
+	if b.resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queued request = %d, want 503", b.resp.StatusCode)
+	}
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve = %v, want nil after graceful drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting connections after drain")
+	}
+}

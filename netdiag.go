@@ -62,6 +62,12 @@ type (
 	Withdrawal = core.Withdrawal
 	// LookingGlass answers AS-path queries for ND-LG.
 	LookingGlass = core.LookingGlass
+	// WireResult is the stable JSON wire form of a Result, shared by the
+	// netdiagnoser CLI (-json) and the ndserve HTTP API; produce it with
+	// Result.Wire and render it with WireResult.Encode.
+	WireResult = core.WireResult
+	// WireHyp is one hypothesis entry of a WireResult.
+	WireHyp = core.WireHyp
 )
 
 // Topology and simulation types (see internal/topology, internal/netsim).
