@@ -1,0 +1,92 @@
+// Benchmark-report comparison: `benchjson -compare old.json new.json`
+// matches the two reports' benchmarks by package+name, prints a per-
+// benchmark delta table, and fails (exit 1 from main) when any shared
+// benchmark's ns/op regressed by more than -threshold percent. Added and
+// removed benchmarks are reported but never fail the comparison.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// loadReport reads one benchjson JSON document from disk.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// benchKey identifies a benchmark across reports. Procs is part of the
+// identity: the same benchmark at different GOMAXPROCS is a different
+// measurement.
+func benchKey(e *Entry) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", e.Package, e.Name, e.Procs)
+}
+
+// runCompare diffs newPath against oldPath and writes the delta table to
+// w. It reports whether any shared benchmark regressed beyond
+// thresholdPct. Rows follow the new report's order, so the output is as
+// deterministic as the reports themselves.
+func runCompare(oldPath, newPath string, thresholdPct float64, w io.Writer) (regressed bool, err error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	// Reports may carry duplicate rows for one benchmark (the bench target
+	// re-runs the Reconverge pairs at a higher -benchtime); compare the
+	// highest-iteration sample from each side.
+	oldBest := bestEntries(oldRep.Benchmarks)
+	newBest := bestEntries(newRep.Benchmarks)
+	oldByKey := make(map[string]*Entry, len(oldBest))
+	for _, oe := range oldBest {
+		oldByKey[benchKey(oe)] = oe
+	}
+
+	fmt.Fprintf(w, "%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	matched := make(map[string]bool, len(newBest))
+	var regressions int
+	for _, ne := range newBest {
+		oe, ok := oldByKey[benchKey(ne)]
+		if !ok {
+			fmt.Fprintf(w, "%-55s %14s %14.1f %9s\n", ne.Name, "-", ne.NsPerOp, "added")
+			continue
+		}
+		matched[benchKey(ne)] = true
+		delta := 0.0
+		if oe.NsPerOp > 0 {
+			delta = (ne.NsPerOp - oe.NsPerOp) / oe.NsPerOp * 100
+		}
+		mark := ""
+		if delta > thresholdPct {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-55s %14.1f %14.1f %+8.1f%%%s\n", ne.Name, oe.NsPerOp, ne.NsPerOp, delta, mark)
+	}
+	for _, oe := range oldBest {
+		if !matched[benchKey(oe)] {
+			fmt.Fprintf(w, "%-55s %14.1f %14s %9s\n", oe.Name, oe.NsPerOp, "-", "removed")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed beyond %.1f%%\n", regressions, thresholdPct)
+		return true, nil
+	}
+	fmt.Fprintf(w, "\nno regressions beyond %.1f%%\n", thresholdPct)
+	return false, nil
+}

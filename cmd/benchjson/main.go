@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,10 +45,23 @@ type ServerSection struct {
 	CoalesceHitRatio *float64 `json:"coalesce_hit_ratio,omitempty"`
 }
 
+// IncrementalScenario pairs one reconvergence delta scenario's cold and
+// incremental benchmark results: how much the warm-started, dirty-set-
+// pruned path saves over a from-scratch reconvergence, and what fraction
+// of the prefix set actually re-ran its fixpoint.
+type IncrementalScenario struct {
+	Scenario      string   `json:"scenario"`
+	ColdNsPerOp   float64  `json:"cold_ns_per_op"`
+	WarmNsPerOp   float64  `json:"warm_ns_per_op"`
+	WarmSpeedup   float64  `json:"warm_speedup,omitempty"`
+	DirtyFraction *float64 `json:"dirty_fraction,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
-	Benchmarks []Entry        `json:"benchmarks"`
-	Server     *ServerSection `json:"server,omitempty"`
+	Benchmarks  []Entry               `json:"benchmarks"`
+	Server      *ServerSection        `json:"server,omitempty"`
+	Incremental []IncrementalScenario `json:"incremental,omitempty"`
 }
 
 // serverSection derives the server summary from the parsed entries; it is
@@ -78,9 +92,84 @@ func serverSection(entries []Entry) *ServerSection {
 	return s
 }
 
+// bestEntries collapses duplicate benchmark rows (same package, name and
+// procs — e.g. a re-run appended at a higher -benchtime, as the bench
+// target does for the Reconverge pairs) to the sample with the most
+// iterations. First-appearance order is kept.
+func bestEntries(entries []Entry) []*Entry {
+	at := map[string]int{}
+	var out []*Entry
+	for i := range entries {
+		e := &entries[i]
+		k := benchKey(e)
+		if j, ok := at[k]; ok {
+			if e.Iterations > out[j].Iterations {
+				out[j] = e
+			}
+			continue
+		}
+		at[k] = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+// incrementalSection pairs BenchmarkReconvergeCold/<scenario> entries with
+// their BenchmarkReconvergeIncremental/<scenario> counterparts. Scenarios
+// missing either side are dropped; the result is sorted by scenario name.
+func incrementalSection(entries []Entry) []IncrementalScenario {
+	cold := map[string]*Entry{}
+	warm := map[string]*Entry{}
+	for _, e := range bestEntries(entries) {
+		if name, ok := strings.CutPrefix(e.Name, "BenchmarkReconvergeCold/"); ok {
+			cold[name] = e
+		} else if name, ok := strings.CutPrefix(e.Name, "BenchmarkReconvergeIncremental/"); ok {
+			warm[name] = e
+		}
+	}
+	names := make([]string, 0, len(cold))
+	for name := range cold {
+		if _, ok := warm[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []IncrementalScenario
+	for _, name := range names {
+		c, w := cold[name], warm[name]
+		s := IncrementalScenario{Scenario: name, ColdNsPerOp: c.NsPerOp, WarmNsPerOp: w.NsPerOp}
+		if w.NsPerOp > 0 {
+			s.WarmSpeedup = c.NsPerOp / w.NsPerOp
+		}
+		if f, ok := w.Extra["dirty-fraction"]; ok {
+			s.DirtyFraction = &f
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two reports: benchjson -compare [-threshold pct] old.json new.json")
+	threshold := flag.Float64("threshold", 10, "ns/op regression threshold in percent for -compare")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -135,6 +224,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 		}
 	}
 	rep.Server = serverSection(rep.Benchmarks)
+	rep.Incremental = incrementalSection(rep.Benchmarks)
 	return rep, sc.Err()
 }
 

@@ -37,6 +37,14 @@ type Metrics struct {
 	FixpointRounds *telemetry.Histogram
 	// PrefixesConverged counts successfully converged prefixes.
 	PrefixesConverged *telemetry.Counter
+	// PrefixesDirty counts prefixes a warm compute had to re-run the
+	// fixpoint for; PrefixesSkipped counts prefixes that shared the prior
+	// state untouched.
+	PrefixesDirty   *telemetry.Counter
+	PrefixesSkipped *telemetry.Counter
+	// WarmRounds observes the fixpoint rounds of warm-started prefixes
+	// only, where a near-fixpoint seed should confirm in very few rounds.
+	WarmRounds *telemetry.Histogram
 	// Pool carries the shared pool-layer task metrics.
 	Pool *pool.Metrics
 }
@@ -49,6 +57,9 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 	return &Metrics{
 		FixpointRounds:    r.Histogram("bgp.fixpoint_rounds", telemetry.CountBuckets),
 		PrefixesConverged: r.Counter("bgp.prefixes_converged"),
+		PrefixesDirty:     r.Counter("bgp.prefixes_dirty"),
+		PrefixesSkipped:   r.Counter("bgp.prefixes_skipped"),
+		WarmRounds:        r.Histogram("bgp.warm_fixpoint_rounds", telemetry.CountBuckets),
 		Pool:              pool.NewMetrics(r),
 	}
 }
@@ -59,6 +70,19 @@ func (m *Metrics) prefixConverged(rounds int) {
 	}
 	m.PrefixesConverged.Inc()
 	m.FixpointRounds.Observe(int64(rounds))
+}
+
+// warmOutcome records the dirty/skipped split of one warm compute and the
+// per-prefix warm fixpoint rounds.
+func (m *Metrics) warmOutcome(dirtyRounds []int, skipped int) {
+	if m == nil {
+		return
+	}
+	m.PrefixesDirty.Add(int64(len(dirtyRounds)))
+	m.PrefixesSkipped.Add(int64(skipped))
+	for _, r := range dirtyRounds {
+		m.WarmRounds.Observe(int64(r))
+	}
 }
 
 func (m *Metrics) poolMetrics() *pool.Metrics {
@@ -162,6 +186,13 @@ type Config struct {
 	// Metrics receives convergence telemetry; nil (the default) disables
 	// it. Telemetry never affects the converged state.
 	Metrics *Metrics
+	// Warm, when non-nil, seeds the compute from a previously converged
+	// state of the same topology and origins (see Delta): prefixes whose
+	// routing cannot be affected by the described delta share the prior
+	// state untouched, and every other prefix starts its fixpoint from the
+	// prior routes instead of empty RIBs. The converged result is
+	// route-for-route identical to a cold compute.
+	Warm *Delta
 }
 
 // session is one live eBGP session endpoint as seen from Local.
@@ -171,24 +202,71 @@ type session struct {
 	Rel    topology.Rel // Local AS's view of Remote's AS
 }
 
+// sessionLayout is the flattened, deterministic index of the live eBGP
+// sessions of one computed State: flat holds every directed session grouped
+// by Local router (groups sorted by Remote), and start is the CSR offset
+// table — router r's sessions occupy flat[start[r]:start[r+1]], and the
+// slot index of a session doubles as its Adj-RIB-In index in prefixState.
+// A layout is immutable once built and shared by every prefixState computed
+// against it.
+type sessionLayout struct {
+	start []int // len NumRouters+1
+	flat  []session
+}
+
+// of returns router r's live sessions (sorted by Remote).
+func (ly *sessionLayout) of(r topology.RouterID) []session {
+	return ly.flat[ly.start[r]:ly.start[r+1]]
+}
+
+// slot returns the Adj-RIB-In slot of the (local, remote) session, or -1 if
+// the layout has no such session. Per-router fan-out is small, so a linear
+// scan of the router's group beats any index structure.
+func (ly *sessionLayout) slot(local, remote topology.RouterID) int {
+	for i := ly.start[local]; i < ly.start[int(local)+1]; i++ {
+		if ly.flat[i].Remote == remote {
+			return i
+		}
+	}
+	return -1
+}
+
 // prefixState is the converged state of a single prefix. Each prefix's
 // fixpoint reads and writes only its own prefixState, which is what makes
 // the per-prefix convergence safely parallel.
 type prefixState struct {
 	// best is the router's best route, indexed by RouterID (nil = none).
 	best []*Route
-	// adjIn[router][neighbor router]: what neighbor advertised.
-	adjIn  map[topology.RouterID]map[topology.RouterID]*Route
+	// adj is the slot-indexed Adj-RIB-In: adj[i] is what layout.flat[i].Local
+	// received from layout.flat[i].Remote (nil = nothing advertised).
+	adj []*Route
+	// layout is the session layout adj is indexed by. A prefixState shared
+	// from a prior state keeps the prior layout, which is a superset of any
+	// later pure-degradation layout; removed sessions hold nil entries.
+	layout *sessionLayout
 	rounds int
+}
+
+// adjAt returns the route local received from remote, resolved through the
+// prefixState's own layout (states shared across computes keep their
+// original layout).
+func (ps *prefixState) adjAt(local, remote topology.RouterID) *Route {
+	if i := ps.layout.slot(local, remote); i >= 0 {
+		return ps.adj[i]
+	}
+	return nil
 }
 
 // State is a converged routing state.
 type State struct {
 	cfg      Config
 	prefixes []Prefix
-	sessions map[topology.RouterID][]session
+	layout   *sessionLayout
 	per      map[Prefix]*prefixState
 	rounds   int
+	// warmDirty / warmSkipped describe how a warm compute split the
+	// prefixes; both zero for a cold compute.
+	warmDirty, warmSkipped int
 }
 
 // Compute converges the routing state. It returns an error only if some
@@ -214,19 +292,53 @@ func ComputeCtx(ctx context.Context, cfg Config) (*State, error) {
 		cfg.IsRouterUp = func(topology.RouterID) bool { return true }
 	}
 	s := &State{
-		cfg:      cfg,
-		sessions: map[topology.RouterID][]session{},
-		per:      map[Prefix]*prefixState{},
+		cfg: cfg,
+		per: make(map[Prefix]*prefixState, len(cfg.Origins)),
 	}
-	for p := range cfg.Origins {
-		s.prefixes = append(s.prefixes, p)
+	prior := (*State)(nil)
+	if cfg.Warm != nil {
+		prior = cfg.Warm.Prior
 	}
-	sort.Slice(s.prefixes, func(i, j int) bool { return s.prefixes[i] < s.prefixes[j] })
-	s.buildSessions()
+	if prior != nil && len(prior.prefixes) == len(cfg.Origins) {
+		// Warm computes run over the same Origins as the prior state (the
+		// Delta contract), so the sorted prefix list is reusable read-only.
+		s.prefixes = prior.prefixes
+	} else {
+		s.prefixes = make([]Prefix, 0, len(cfg.Origins))
+		for p := range cfg.Origins {
+			s.prefixes = append(s.prefixes, p)
+		}
+		sort.Slice(s.prefixes, func(i, j int) bool { return s.prefixes[i] < s.prefixes[j] })
+	}
+	if prior != nil && cfg.Warm.SessionsUnchanged {
+		// No inter-AS link or router liveness changed, so the live eBGP
+		// session set is exactly the prior one.
+		s.layout = prior.layout
+	} else {
+		s.layout = buildLayout(&s.cfg)
+	}
 
 	maxRounds := cfg.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 500
+	}
+	var dirty []bool
+	var seeds []*prefixState
+	if prior != nil {
+		dirty, seeds = s.planWarm(cfg.Warm)
+	}
+	if dirty != nil && noneDirty(dirty) {
+		// Entirely clean delta: share every prior prefixState without
+		// spinning up the per-prefix fan-out at all.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i, p := range s.prefixes {
+			s.per[p] = seeds[i]
+			s.warmSkipped++
+		}
+		cfg.Metrics.warmOutcome(nil, s.warmSkipped)
+		return s, nil
 	}
 	states := make([]*prefixState, len(s.prefixes))
 	workers := cfg.Parallelism
@@ -234,7 +346,17 @@ func ComputeCtx(ctx context.Context, cfg Config) (*State, error) {
 		workers = 1
 	}
 	err := pool.ForEachM(ctx, workers, len(s.prefixes), func(i int) error {
-		ps, err := s.convergePrefix(ctx, s.prefixes[i], maxRounds)
+		if dirty != nil && !dirty[i] {
+			// Clean prefix: the prior converged state is provably the
+			// fixpoint under the new configuration too — share it.
+			states[i] = seeds[i]
+			return nil
+		}
+		var seed *prefixState
+		if seeds != nil {
+			seed = seeds[i]
+		}
+		ps, err := s.convergePrefix(ctx, s.prefixes[i], maxRounds, seed)
 		if err != nil {
 			return err
 		}
@@ -245,112 +367,131 @@ func ComputeCtx(ctx context.Context, cfg Config) (*State, error) {
 	if err != nil {
 		return nil, err
 	}
+	var warmRounds []int
 	for i, p := range s.prefixes {
 		s.per[p] = states[i]
+		if dirty != nil && !dirty[i] {
+			s.warmSkipped++
+			continue
+		}
+		if dirty != nil {
+			s.warmDirty++
+			warmRounds = append(warmRounds, states[i].rounds)
+		}
 		if states[i].rounds > s.rounds {
 			s.rounds = states[i].rounds
 		}
 	}
+	if dirty != nil {
+		cfg.Metrics.warmOutcome(warmRounds, s.warmSkipped)
+	}
 	return s, nil
 }
 
-// buildSessions enumerates the live eBGP sessions.
-func (s *State) buildSessions() {
-	topo := s.cfg.Topo
+// noneDirty reports whether a warm plan left every prefix clean.
+func noneDirty(dirty []bool) bool {
+	for _, d := range dirty {
+		if d {
+			return false
+		}
+	}
+	return true
+}
+
+// buildLayout enumerates the live eBGP sessions into their flattened,
+// deterministic slot index.
+func buildLayout(cfg *Config) *sessionLayout {
+	topo := cfg.Topo
+	byRouter := make([][]session, topo.NumRouters())
 	for _, l := range topo.Links() {
-		if l.Kind != topology.Inter || !s.cfg.IsLinkUp(l.ID) {
+		if l.Kind != topology.Inter || !cfg.IsLinkUp(l.ID) {
 			continue
 		}
-		if !s.cfg.IsRouterUp(l.A) || !s.cfg.IsRouterUp(l.B) {
+		if !cfg.IsRouterUp(l.A) || !cfg.IsRouterUp(l.B) {
 			continue
 		}
 		asA, asB := topo.RouterAS(l.A), topo.RouterAS(l.B)
-		s.sessions[l.A] = append(s.sessions[l.A], session{Local: l.A, Remote: l.B, Rel: topo.Rel(asA, asB)})
-		s.sessions[l.B] = append(s.sessions[l.B], session{Local: l.B, Remote: l.A, Rel: topo.Rel(asB, asA)})
+		byRouter[l.A] = append(byRouter[l.A], session{Local: l.A, Remote: l.B, Rel: topo.Rel(asA, asB)})
+		byRouter[l.B] = append(byRouter[l.B], session{Local: l.B, Remote: l.A, Rel: topo.Rel(asB, asA)})
 	}
-	// Deterministic order for reproducible tie-breaking paths.
-	for r := range s.sessions {
-		ss := s.sessions[r]
+	ly := &sessionLayout{start: make([]int, topo.NumRouters()+1)}
+	for r, ss := range byRouter {
+		// Deterministic order for reproducible tie-breaking paths.
 		sort.Slice(ss, func(i, j int) bool { return ss[i].Remote < ss[j].Remote })
+		ly.start[r] = len(ly.flat)
+		ly.flat = append(ly.flat, ss...)
 	}
+	ly.start[topo.NumRouters()] = len(ly.flat)
+	return ly
 }
 
 // convergePrefix runs the synchronous fixpoint for one prefix, checking ctx
-// between rounds so long convergences abort promptly under a deadline.
-func (s *State) convergePrefix(ctx context.Context, p Prefix, maxRounds int) (*prefixState, error) {
-	ps := &prefixState{
-		best:  make([]*Route, s.cfg.Topo.NumRouters()),
-		adjIn: map[topology.RouterID]map[topology.RouterID]*Route{},
+// between rounds so long convergences abort promptly under a deadline. A
+// non-nil seed warm-starts the iteration from a prior converged state
+// (remapped onto the current session layout); the fixpoint reached is the
+// same either way, a seeded run just reaches it in fewer rounds.
+//
+// The two prefixStates double-buffer the iteration: each round reads one
+// and overwrites every slot of the other, so the per-round map and slice
+// churn of the hot loop collapses to two allocations per fixpoint.
+func (s *State) convergePrefix(ctx context.Context, p Prefix, maxRounds int, seed *prefixState) (*prefixState, error) {
+	nr := s.cfg.Topo.NumRouters()
+	cur := &prefixState{best: make([]*Route, nr), adj: make([]*Route, len(s.layout.flat)), layout: s.layout}
+	next := &prefixState{best: make([]*Route, nr), adj: make([]*Route, len(s.layout.flat)), layout: s.layout}
+	if seed != nil {
+		copy(cur.best, seed.best)
+		for i, e := range s.layout.flat {
+			cur.adj[i] = seed.adjAt(e.Local, e.Remote)
+		}
 	}
-	for ps.rounds = 1; ps.rounds <= maxRounds; ps.rounds++ {
+	for rounds := 1; rounds <= maxRounds; rounds++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if !s.stepPrefix(p, ps) {
-			return ps, nil
+		if !s.stepPrefix(p, cur, next) {
+			next.rounds = rounds
+			return next, nil
 		}
+		cur, next = next, cur
 	}
 	return nil, fmt.Errorf("bgp: prefix %s: no convergence after %d rounds", p, maxRounds)
 }
 
 // stepPrefix runs one synchronous round for one prefix: recompute every
-// router's best route from the previous round's state, then recompute every
-// Adj-RIB-In from the new bests. It reports whether anything changed.
-func (s *State) stepPrefix(p Prefix, ps *prefixState) bool {
+// router's best route from the previous round's state (prev), then
+// recompute every Adj-RIB-In slot from the new bests, writing into next.
+// It reports whether anything changed.
+func (s *State) stepPrefix(p Prefix, prev, next *prefixState) bool {
 	topo := s.cfg.Topo
 	changed := false
 
-	newBest := make([]*Route, topo.NumRouters())
 	for id := 0; id < topo.NumRouters(); id++ {
 		r := topology.RouterID(id)
 		if !s.cfg.IsRouterUp(r) {
+			next.best[r] = nil
+			if prev.best[r] != nil {
+				changed = true
+			}
 			continue
 		}
-		newBest[r] = s.decide(r, p, ps)
-		if !changed && !newBest[r].equal(ps.best[r]) {
+		next.best[r] = s.decide(r, p, prev)
+		if !changed && !next.best[r].equal(prev.best[r]) {
 			changed = true
 		}
 	}
-	ps.best = newBest
 
-	newAdj := map[topology.RouterID]map[topology.RouterID]*Route{}
-	for _, sess := range s.sessions {
-		for _, e := range sess {
-			// The route e.Local receives FROM e.Remote: Remote's export.
-			in := s.export(e.Remote, e.Local, p, ps)
-			if in != nil {
-				m := newAdj[e.Local]
-				if m == nil {
-					m = map[topology.RouterID]*Route{}
-					newAdj[e.Local] = m
-				}
-				m[e.Remote] = in
-			}
+	// Exports read the bests just computed (next), matching the original
+	// synchronous round: best pass first, then Adj-RIB-Ins from the new
+	// bests. export only reads .best, so the half-filled next.adj is fine.
+	for i, e := range s.layout.flat {
+		// The route e.Local receives FROM e.Remote: Remote's export.
+		in := s.export(e.Remote, e.Local, p, next)
+		next.adj[i] = in
+		if !changed && !in.equal(prev.adj[i]) {
+			changed = true
 		}
 	}
-	if !changed {
-		changed = !adjEqual(ps.adjIn, newAdj)
-	}
-	ps.adjIn = newAdj
 	return changed
-}
-
-func adjEqual(a, b map[topology.RouterID]map[topology.RouterID]*Route) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for r, am := range a {
-		bm, ok := b[r]
-		if !ok || len(am) != len(bm) {
-			return false
-		}
-		for n, ar := range am {
-			if !ar.equal(bm[n]) {
-				return false
-			}
-		}
-	}
-	return true
 }
 
 // export computes the route router `from` advertises to eBGP neighbor `to`
@@ -416,9 +557,12 @@ func (s *State) decide(r topology.RouterID, p Prefix, ps *prefixState) *Route {
 		consider(&Route{Prefix: p, LocalPref: prefLocal, Egress: r, Local: true})
 	}
 
-	// eBGP: routes in Adj-RIB-In from live sessions.
-	for _, e := range s.sessions[r] {
-		adv := ps.adjIn[r][e.Remote]
+	// eBGP: routes in Adj-RIB-In from live sessions. The fixpoint always
+	// iterates states indexed by s.layout, so the session slot addresses
+	// the Adj-RIB-In directly.
+	base := s.layout.start[r]
+	for i, e := range s.layout.of(r) {
+		adv := ps.adj[base+i]
 		if adv == nil || adv.hasAS(asn) {
 			continue
 		}
@@ -505,8 +649,14 @@ func (s *State) Best(r topology.RouterID, p Prefix) (*Route, bool) {
 func (s *State) Prefixes() []Prefix { return s.prefixes }
 
 // Rounds returns the number of synchronous rounds the slowest prefix's
-// fixpoint took.
+// fixpoint took. Prefixes shared untouched from a warm compute's prior
+// state do not count — they took zero rounds this compute.
 func (s *State) Rounds() int { return s.rounds }
+
+// WarmStats reports how a warm compute split the prefixes: dirty prefixes
+// re-ran the (seeded) fixpoint, skipped prefixes shared the prior state
+// untouched. Both are zero for a cold compute.
+func (s *State) WarmStats() (dirty, skipped int) { return s.warmDirty, s.warmSkipped }
 
 // AdjInPrefixes returns the set of prefixes router r currently receives
 // from eBGP neighbor `from`. Diffing this across a failure event yields the
@@ -514,7 +664,9 @@ func (s *State) Rounds() int { return s.rounds }
 func (s *State) AdjInPrefixes(r, from topology.RouterID) map[Prefix]bool {
 	out := map[Prefix]bool{}
 	for p, ps := range s.per {
-		if ps.adjIn[r][from] != nil {
+		// Resolve through each prefixState's own layout: states shared from
+		// a prior compute are indexed by the prior session layout.
+		if ps.adjAt(r, from) != nil {
 			out[p] = true
 		}
 	}
@@ -525,7 +677,7 @@ func (s *State) AdjInPrefixes(r, from topology.RouterID) map[Prefix]bool {
 // ascending order.
 func (s *State) EBGPNeighbors(r topology.RouterID) []topology.RouterID {
 	var out []topology.RouterID
-	for _, e := range s.sessions[r] {
+	for _, e := range s.layout.of(r) {
 		out = append(out, e.Remote)
 	}
 	return out

@@ -1,0 +1,206 @@
+// Warm-started convergence: a Delta describes how a Config differs from a
+// previously converged state of the same topology, and planWarm derives
+// from it the set of prefixes whose converged routing can actually be
+// affected (the "dirty set"). Clean prefixes share the prior prefixState by
+// pointer and skip the fixpoint entirely; dirty prefixes seed their
+// fixpoint from the prior routes, so an already-correct seed confirms in a
+// single verification round instead of O(diameter) rounds.
+//
+// Soundness rests on the Gao–Rexford relationship consistency the topology
+// package enforces: the decision process has a unique stable state per
+// prefix (no dispute wheel), so any fixpoint the seeded iteration reaches
+// — and any prior state proven to still be a fixpoint — is the same state
+// a cold compute reaches. The netsim differential tests assert this
+// route-for-route over randomized fault sets.
+package bgp
+
+import (
+	"netdiag/internal/topology"
+)
+
+// Delta describes how a Config's fault set differs from the converged
+// Prior state, as the netsim layer tracks it. The zero delta (no failed
+// routers, no dirty ASes, ForceAll false) means "only link and filter
+// changes, derivable from the configs themselves": removed sessions are
+// found by diffing the session layouts and filter changes by diffing the
+// Filters slices.
+type Delta struct {
+	// Prior is the converged state the new compute is a perturbation of.
+	// It must have been computed over the same Topo and the same Origins.
+	Prior *State
+	// FailedRouters are routers that were up when Prior converged and are
+	// down now. (The prior Config's IsRouterUp closure may read live state
+	// that has since changed, so the caller must pass the delta
+	// explicitly.)
+	FailedRouters []topology.RouterID
+	// DirtyASes are the ASes whose intra-domain IGP tables changed between
+	// Prior's compute and this one (failed/restored intra-AS links, failed
+	// routers). Hot-potato tie-breaks and iBGP reachability read IGP
+	// distances, so prefix pruning must inspect these ASes.
+	DirtyASes []topology.ASN
+	// ForceAll marks deltas with restorations (links or routers back up,
+	// filters removed): new routes can then appear anywhere, so every
+	// prefix is treated as dirty. The fixpoints are still warm-seeded —
+	// unaffected prefixes confirm in one verification round.
+	ForceAll bool
+	// SessionsUnchanged asserts no inter-AS link or router liveness changed
+	// since Prior, so the live eBGP session set is exactly Prior's. The
+	// compute then shares Prior's session layout by pointer instead of
+	// rebuilding it — the dominant allocation on small all-clean deltas.
+	SessionsUnchanged bool
+}
+
+// planWarm splits the prefixes into dirty (fixpoint re-runs, seeded) and
+// clean (share Prior's prefixState). seeds[i] is the prior state of
+// prefix i, nil for prefixes Prior did not carry.
+//
+// A prefix is dirty when the delta can reach its converged routing:
+//   - an export filter for it was added (removed filters set ForceAll);
+//   - a failed router held a best route for it (clearing that route can
+//     cascade);
+//   - a prior Adj-RIB-In entry for it rode a session that no longer exists
+//     (the entry must be dropped, which can cascade);
+//   - some router in a dirty AS held a best route whose egress the AS's
+//     IGP distance change can re-rank (hot-potato tie-breaks and iBGP
+//     egress reachability are the only IGP inputs to the decision
+//     process).
+//
+// Everything else is provably untouched: its prior routes are a fixpoint
+// under the new configuration, hence (by uniqueness) the cold result.
+func (s *State) planWarm(w *Delta) (dirty []bool, seeds []*prefixState) {
+	prior := w.Prior
+	n := len(s.prefixes)
+	dirty = make([]bool, n)
+	seeds = make([]*prefixState, n)
+	for i, p := range s.prefixes {
+		seeds[i] = prior.per[p]
+		// New prefixes, or prefixes whose origin moved, converge cold.
+		if seeds[i] == nil || prior.cfg.Origins[p] != s.cfg.Origins[p] {
+			dirty[i] = true
+		}
+	}
+
+	forceAll := w.ForceAll
+	added, removed := filterDelta(prior.cfg.Filters, s.cfg.Filters)
+	if removed {
+		forceAll = true
+	}
+	removedSessions, addedSessions := layoutDelta(prior.layout, s.layout)
+	if addedSessions {
+		// Restorations should have set ForceAll already; keep the pruning
+		// sound even if a caller under-reported the delta.
+		forceAll = true
+	}
+	if forceAll {
+		for i := range dirty {
+			dirty[i] = true
+		}
+		return dirty, seeds
+	}
+
+	if len(added) > 0 {
+		idx := make(map[Prefix]int, n)
+		for i, p := range s.prefixes {
+			idx[p] = i
+		}
+		for _, f := range added {
+			if i, ok := idx[f.Prefix]; ok {
+				dirty[i] = true
+			}
+		}
+	}
+
+	for i := range s.prefixes {
+		if dirty[i] {
+			continue
+		}
+		ps := seeds[i]
+		for _, r := range w.FailedRouters {
+			if ps.best[r] != nil {
+				dirty[i] = true
+				break
+			}
+		}
+		if dirty[i] {
+			continue
+		}
+		for _, e := range removedSessions {
+			if ps.adjAt(e.Local, e.Remote) != nil {
+				dirty[i] = true
+				break
+			}
+		}
+	}
+
+	for _, asn := range w.DirtyASes {
+		routers := s.cfg.Topo.AS(asn).Routers
+		for i := range s.prefixes {
+			if dirty[i] {
+				continue
+			}
+			for _, q := range routers {
+				b := seeds[i].best[q]
+				if b == nil {
+					continue
+				}
+				// Per-(router, egress) check: r's decision for p reads the
+				// IGP only through Dist(r, egress) of its candidates (the
+				// hot-potato tie-break and iBGP egress reachability). Dirty
+				// deltas are pure degradations — distances only grow — so
+				// rival candidates can only get worse; the prior winner can
+				// lose its seat only if its own egress distance changed.
+				if prior.cfg.IGP.Dist(q, b.Egress) != s.cfg.IGP.Dist(q, b.Egress) {
+					dirty[i] = true
+					break
+				}
+			}
+		}
+	}
+	return dirty, seeds
+}
+
+// filterDelta diffs two export-filter multisets.
+func filterDelta(prior, cur []ExportFilter) (added []ExportFilter, removed bool) {
+	if len(prior) == 0 {
+		return cur, false
+	}
+	if len(cur) == 0 {
+		return nil, true
+	}
+	count := map[ExportFilter]int{}
+	for _, f := range prior {
+		count[f]++
+	}
+	for _, f := range cur {
+		if count[f] > 0 {
+			count[f]--
+		} else {
+			added = append(added, f)
+		}
+	}
+	for _, left := range count {
+		if left > 0 {
+			removed = true
+			break
+		}
+	}
+	return added, removed
+}
+
+// layoutDelta diffs two session layouts: removed is every directed session
+// present in prior but absent now; addedAny reports whether the new layout
+// has any session prior lacked.
+func layoutDelta(prior, cur *sessionLayout) (removed []session, addedAny bool) {
+	if prior == cur {
+		return nil, false
+	}
+	for _, e := range prior.flat {
+		if cur.slot(e.Local, e.Remote) < 0 {
+			removed = append(removed, e)
+		}
+	}
+	// cur holds (prior ∩ cur) plus any genuinely new sessions, and
+	// |prior ∩ cur| = |prior| - |removed|.
+	addedAny = len(cur.flat) > len(prior.flat)-len(removed)
+	return removed, addedAny
+}

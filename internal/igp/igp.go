@@ -6,10 +6,9 @@ package igp
 
 import (
 	"container/heap"
-	"fmt"
 	"math"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 
 	"netdiag/internal/pool"
@@ -36,7 +35,11 @@ type LinkDown struct {
 type State struct {
 	topo *topology.Topology
 	isUp func(topology.LinkID) bool
-	dist map[topology.RouterID]map[topology.RouterID]int
+	// dist is indexed by source RouterID (IDs are dense), one per-source
+	// distance table per router. Slice indexing keeps the BGP decision
+	// process's Dist reads cheap, and lets Rebuild clone the whole state
+	// with a memmove before overwriting the dirty ASes' entries.
+	dist []map[topology.RouterID]int
 }
 
 // New computes IGP state for all ASes. isUp reports whether a physical
@@ -92,17 +95,19 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// key canonically names one AS's intra-domain failure state.
+// key canonically names one AS's intra-domain failure state. This runs on
+// every (AS, reconvergence) pair, so it avoids fmt.
 func cacheKey(asn topology.ASN, failed []topology.LinkID) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|", asn)
+	b := make([]byte, 0, 16+8*len(failed))
+	b = strconv.AppendInt(b, int64(asn), 10)
+	b = append(b, '|')
 	for i, l := range failed {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d", l)
+		b = strconv.AppendInt(b, int64(l), 10)
 	}
-	return b.String()
+	return string(b)
 }
 
 // NewCached computes IGP state for all ASes, reusing cached per-AS SPF
@@ -114,7 +119,7 @@ func NewCached(topo *topology.Topology, isUp func(topology.LinkID) bool, cache *
 	s := &State{
 		topo: topo,
 		isUp: isUp,
-		dist: make(map[topology.RouterID]map[topology.RouterID]int, topo.NumRouters()),
+		dist: make([]map[topology.RouterID]int, topo.NumRouters()),
 	}
 	asns := topo.ASNumbers()
 	perAS := make([]map[topology.RouterID]map[topology.RouterID]int, len(asns))
@@ -130,6 +135,70 @@ func NewCached(topo *topology.Topology, isUp func(topology.LinkID) bool, cache *
 	return s
 }
 
+// Rebuild computes IGP state for a changed fault set by perturbing a
+// previous State: every AS outside dirty shares prev's per-AS tables by
+// pointer (its intra-domain failure set is unchanged, so its tables are
+// bit-identical), and only the dirty ASes run SPF — through the cache when
+// one is attached, so even a dirty AS whose failure set was seen before is
+// a lookup, not a recompute. isUp must describe the NEW fault state; the
+// dirty list must name every AS whose intra-AS link liveness (including
+// links silenced by router failures) differs from what prev was computed
+// with. The result is identical to a fresh NewCached over isUp.
+func Rebuild(prev *State, isUp func(topology.LinkID) bool, dirty []topology.ASN, cache *Cache, workers int) *State {
+	topo := prev.topo
+	s := &State{
+		topo: topo,
+		isUp: isUp,
+		// The copy shares every per-source table by pointer (read-only
+		// after construction); dirty-AS routers are overwritten below, so
+		// clean ones keep prev's tables — bit-identical, never recomputed.
+		dist: make([]map[topology.RouterID]int, len(prev.dist)),
+	}
+	copy(s.dist, prev.dist)
+	if len(dirty) == 1 || workers <= 1 {
+		// Single-AS deltas (the common incremental case) skip the fan-out
+		// machinery entirely.
+		for _, asn := range dirty {
+			for src, d := range s.asTables(asn, cache) {
+				s.dist[src] = d
+			}
+		}
+		return s
+	}
+	perAS := make([]map[topology.RouterID]map[topology.RouterID]int, len(dirty))
+	_ = pool.ForEach(nil, workers, len(dirty), func(i int) error {
+		perAS[i] = s.asTables(dirty[i], cache)
+		return nil
+	})
+	for _, tables := range perAS {
+		for src, d := range tables {
+			s.dist[src] = d
+		}
+	}
+	return s
+}
+
+// TablesEqual reports whether two States hold identical all-pairs distance
+// tables — the equivalence the incremental reconvergence tests assert
+// between a Rebuild and a cold recompute.
+func (s *State) TablesEqual(o *State) bool {
+	if len(s.dist) != len(o.dist) {
+		return false
+	}
+	for src, d := range s.dist {
+		od := o.dist[src]
+		if len(d) != len(od) {
+			return false
+		}
+		for dst, v := range d {
+			if ov, ok := od[dst]; !ok || ov != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // asTables returns the per-source SPF tables of one AS, from the cache
 // when possible.
 func (s *State) asTables(asn topology.ASN, cache *Cache) map[topology.RouterID]map[topology.RouterID]int {
@@ -141,7 +210,13 @@ func (s *State) asTables(asn topology.ASN, cache *Cache) map[topology.RouterID]m
 				failed = append(failed, l.ID)
 			}
 		}
-		sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+		// Insertion sort: failed sets are tiny (0–2 links), and sort.Slice
+		// would force the slice to the heap on every reconvergence.
+		for i := 1; i < len(failed); i++ {
+			for j := i; j > 0 && failed[j] < failed[j-1]; j-- {
+				failed[j], failed[j-1] = failed[j-1], failed[j]
+			}
+		}
 		key = cacheKey(asn, failed)
 		cache.mu.Lock()
 		hit, ok := cache.entries[key]

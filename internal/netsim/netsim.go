@@ -36,27 +36,171 @@ type Network struct {
 	routerUp []bool
 	filters  []bgp.ExportFilter
 	origins  map[bgp.Prefix]topology.ASN
+	// linkUpFn/routerUpFn are the LinkIsUp/RouterIsUp method values, bound
+	// once per Network: ReconvergeCtx hands them to the IGP and BGP layers
+	// on every convergence, and binding there would allocate each time.
+	linkUpFn   func(topology.LinkID) bool
+	routerUpFn func(topology.RouterID) bool
 
 	parallelism int
 	spfCache    *igp.Cache
 	tele        *telemetry.Registry
 	met         *simMetrics
+	incremental bool
 
 	igp       *igp.State
 	bgp       *bgp.State
 	converged bool
+	// base is the last converged state reconvergence can be computed as a
+	// delta of (see ReconvergeCtx); nil until the first convergence or when
+	// incremental reconvergence is disabled.
+	base *baseState
+	// shared marks linkUp/routerUp/filters as aliased by a base snapshot,
+	// a checkpoint, or a fork; mutators clone them first (ensureOwned).
+	shared bool
+}
+
+// baseState is an immutable snapshot of a converged network: the routing
+// state plus the exact fault configuration it was computed under. Forks
+// share it by pointer; diffing the live fault arrays against it yields the
+// reconvergence delta.
+type baseState struct {
+	igp      *igp.State
+	bgp      *bgp.State
+	linkUp   []bool
+	routerUp []bool
+	filters  []bgp.ExportFilter
+}
+
+// captureBase snapshots the network's current converged state and fault
+// configuration. The returned baseState is never mutated afterwards: the
+// snapshot aliases the live arrays and flips the network to copy-on-write
+// (the next fault mutation clones them), so reconverging a long chain of
+// deltas never re-copies an unchanged fault configuration.
+func (n *Network) captureBase() *baseState {
+	n.shared = true
+	return &baseState{
+		igp:      n.igp,
+		bgp:      n.bgp,
+		linkUp:   n.linkUp,
+		routerUp: n.routerUp,
+		filters:  n.filters,
+	}
+}
+
+// ensureOwned clones the fault arrays when they alias a base snapshot, a
+// checkpoint, or a forked sibling, so mutations never reach shared state.
+func (n *Network) ensureOwned() {
+	if !n.shared {
+		return
+	}
+	// One backing buffer for both liveness arrays; they are never appended
+	// to, only indexed.
+	buf := make([]bool, len(n.linkUp)+len(n.routerUp))
+	copy(buf, n.linkUp)
+	copy(buf[len(n.linkUp):], n.routerUp)
+	n.linkUp, n.routerUp = buf[:len(n.linkUp):len(n.linkUp)], buf[len(n.linkUp):]
+	n.filters = append([]bgp.ExportFilter(nil), n.filters...)
+	n.shared = false
+}
+
+// reconvergeDelta is the difference between the live fault configuration
+// and the base snapshot, in the terms the incremental pipeline consumes.
+type reconvergeDelta struct {
+	base              *baseState
+	dirtyASes         []topology.ASN
+	failedRouters     []topology.RouterID
+	forceAll          bool
+	sessionsUnchanged bool
+}
+
+// computeDelta diffs the current fault arrays against the base snapshot.
+// It returns nil when no base exists (first convergence, or incremental
+// reconvergence disabled) and the cold path must run.
+func (n *Network) computeDelta() *reconvergeDelta {
+	if !n.incremental || n.base == nil {
+		return nil
+	}
+	b := n.base
+	d := &reconvergeDelta{base: b, sessionsUnchanged: true}
+	for i := range n.linkUp {
+		if n.linkUp[i] == b.linkUp[i] {
+			continue
+		}
+		l := n.topo.Link(topology.LinkID(i))
+		if l.Kind == topology.Intra {
+			d.dirtyASes = appendUniqueAS(d.dirtyASes, n.topo.RouterAS(l.A))
+		} else {
+			d.sessionsUnchanged = false
+		}
+		if !b.linkUp[i] {
+			// Link restored: new sessions/paths can appear anywhere.
+			d.forceAll = true
+		}
+	}
+	for i := range n.routerUp {
+		if n.routerUp[i] == b.routerUp[i] {
+			continue
+		}
+		r := topology.RouterID(i)
+		d.dirtyASes = appendUniqueAS(d.dirtyASes, n.topo.RouterAS(r))
+		d.sessionsUnchanged = false
+		if b.routerUp[i] {
+			d.failedRouters = append(d.failedRouters, r)
+		} else {
+			d.forceAll = true
+		}
+	}
+	if filtersRemoved(b.filters, n.filters) {
+		d.forceAll = true
+	}
+	sort.Slice(d.dirtyASes, func(i, j int) bool { return d.dirtyASes[i] < d.dirtyASes[j] })
+	return d
+}
+
+// appendUniqueAS adds an AS to the dirty list unless present. Deltas touch
+// a couple of ASes at most, so a linear-scan set beats a map here (this
+// runs on every incremental reconvergence).
+func appendUniqueAS(list []topology.ASN, as topology.ASN) []topology.ASN {
+	for _, seen := range list {
+		if seen == as {
+			return list
+		}
+	}
+	return append(list, as)
+}
+
+// filtersRemoved reports whether any filter of the base multiset is gone
+// from the current one (additions are handled per-prefix by the BGP layer).
+func filtersRemoved(base, cur []bgp.ExportFilter) bool {
+	if len(cur) >= len(base) {
+		count := map[bgp.ExportFilter]int{}
+		for _, f := range cur {
+			count[f]++
+		}
+		for _, f := range base {
+			if count[f] == 0 {
+				return true
+			}
+			count[f]--
+		}
+		return false
+	}
+	return true
 }
 
 // simMetrics holds the simulator-level telemetry handles. A nil *simMetrics
 // disables all of it, including the clock reads around the phases.
 type simMetrics struct {
-	reconverges *telemetry.Counter
-	spfNS       *telemetry.Histogram
-	bgpNS       *telemetry.Histogram
-	meshNS      *telemetry.Histogram
-	withdrawals *telemetry.Counter
-	bgpM        *bgp.Metrics
-	probeM      *probe.Metrics
+	reconverges    *telemetry.Counter
+	reconvergesInc *telemetry.Counter
+	asRebuilds     *telemetry.Counter
+	spfNS          *telemetry.Histogram
+	bgpNS          *telemetry.Histogram
+	meshNS         *telemetry.Histogram
+	withdrawals    *telemetry.Counter
+	bgpM           *bgp.Metrics
+	probeM         *probe.Metrics
 }
 
 func newSimMetrics(r *telemetry.Registry) *simMetrics {
@@ -64,13 +208,15 @@ func newSimMetrics(r *telemetry.Registry) *simMetrics {
 		return nil
 	}
 	return &simMetrics{
-		reconverges: r.Counter("netsim.reconverges"),
-		spfNS:       r.Histogram("netsim.phase.spf_ns", telemetry.DurationBuckets),
-		bgpNS:       r.Histogram("netsim.phase.bgp_ns", telemetry.DurationBuckets),
-		meshNS:      r.Histogram("netsim.phase.mesh_ns", telemetry.DurationBuckets),
-		withdrawals: r.Counter("bgp.withdrawals_seen"),
-		bgpM:        bgp.NewMetrics(r),
-		probeM:      probe.NewMetrics(r),
+		reconverges:    r.Counter("netsim.reconverges"),
+		reconvergesInc: r.Counter("netsim.reconverges_incremental"),
+		asRebuilds:     r.Counter("igp.as_rebuilds"),
+		spfNS:          r.Histogram("netsim.phase.spf_ns", telemetry.DurationBuckets),
+		bgpNS:          r.Histogram("netsim.phase.bgp_ns", telemetry.DurationBuckets),
+		meshNS:         r.Histogram("netsim.phase.mesh_ns", telemetry.DurationBuckets),
+		withdrawals:    r.Counter("bgp.withdrawals_seen"),
+		bgpM:           bgp.NewMetrics(r),
+		probeM:         probe.NewMetrics(r),
 	}
 }
 
@@ -127,6 +273,18 @@ func WithTelemetry(r *telemetry.Registry) Option {
 	return func(net *Network) { net.tele = r }
 }
 
+// WithIncrementalReconvergence enables or disables delta-driven
+// reconvergence (enabled by default): with it on, every Reconverge after
+// the first is computed as a perturbation of the last converged state —
+// per-AS SPF rebuilds only for ASes the fault delta touches, and a
+// warm-started BGP fixpoint that skips prefixes the delta provably cannot
+// affect. The converged state is route-for-route identical either way;
+// disabling it forces every Reconverge through the cold path (the
+// differential tests and benchmarks rely on this).
+func WithIncrementalReconvergence(on bool) Option {
+	return func(net *Network) { net.incremental = on }
+}
+
 // New builds a network announcing one prefix per AS in originASes and
 // converges it.
 func New(topo *topology.Topology, originASes []topology.ASN, opts ...Option) (*Network, error) {
@@ -136,7 +294,9 @@ func New(topo *topology.Topology, originASes []topology.ASN, opts ...Option) (*N
 		routerUp:    make([]bool, topo.NumRouters()),
 		origins:     map[bgp.Prefix]topology.ASN{},
 		parallelism: 1,
+		incremental: true,
 	}
+	n.linkUpFn, n.routerUpFn = n.LinkIsUp, n.RouterIsUp
 	for _, o := range opts {
 		o(n)
 	}
@@ -171,17 +331,29 @@ func New(topo *topology.Topology, originASes []topology.ASN, opts ...Option) (*N
 func (n *Network) Fork() *Network {
 	f := &Network{
 		topo:        n.topo,
-		linkUp:      append([]bool(nil), n.linkUp...),
-		routerUp:    append([]bool(nil), n.routerUp...),
-		filters:     append([]bgp.ExportFilter(nil), n.filters...),
 		origins:     n.origins,
 		parallelism: n.parallelism,
 		spfCache:    n.spfCache,
 		tele:        n.tele,
 		met:         n.met,
+		incremental: n.incremental,
 		igp:         n.igp,
 		bgp:         n.bgp,
 		converged:   n.converged,
+		base:        n.base,
+	}
+	f.linkUpFn, f.routerUpFn = f.LinkIsUp, f.RouterIsUp
+	if n.shared {
+		// The parent's arrays are already frozen copy-on-write (a base
+		// snapshot or checkpoint aliases them), so the fork can alias them
+		// too — its first mutation clones. Fork never writes to the
+		// parent, keeping concurrent Forks of one parent race-free.
+		f.linkUp, f.routerUp, f.filters = n.linkUp, n.routerUp, n.filters
+		f.shared = true
+	} else {
+		f.linkUp = append([]bool(nil), n.linkUp...)
+		f.routerUp = append([]bool(nil), n.routerUp...)
+		f.filters = append([]bgp.ExportFilter(nil), n.filters...)
 	}
 	return f
 }
@@ -207,18 +379,21 @@ func (n *Network) RouterIsUp(r topology.RouterID) bool { return n.routerUp[r] }
 
 // FailLink takes a physical link down. Call Reconverge afterwards.
 func (n *Network) FailLink(id topology.LinkID) {
+	n.ensureOwned()
 	n.linkUp[id] = false
 	n.converged = false
 }
 
 // RestoreLink brings a physical link back up. Call Reconverge afterwards.
 func (n *Network) RestoreLink(id topology.LinkID) {
+	n.ensureOwned()
 	n.linkUp[id] = true
 	n.converged = false
 }
 
 // FailRouter takes a router down along with all its links' sessions.
 func (n *Network) FailRouter(r topology.RouterID) {
+	n.ensureOwned()
 	n.routerUp[r] = false
 	n.converged = false
 }
@@ -226,12 +401,14 @@ func (n *Network) FailRouter(r topology.RouterID) {
 // AddExportFilter installs a BGP export filter (a simulated
 // misconfiguration). Call Reconverge afterwards.
 func (n *Network) AddExportFilter(f bgp.ExportFilter) {
+	n.ensureOwned()
 	n.filters = append(n.filters, f)
 	n.converged = false
 }
 
 // ClearFaults restores all links and routers and removes all filters.
 func (n *Network) ClearFaults() {
+	n.ensureOwned()
 	for i := range n.linkUp {
 		n.linkUp[i] = true
 	}
@@ -253,33 +430,66 @@ func (n *Network) Reconverge() error {
 // promptly with ctx.Err() and leaves the network unconverged. For an
 // uncancelled context the converged state is identical to Reconverge. This
 // is the warm-path entry point the ndserve diagnosis service forks through.
+//
+// After the first convergence (and on every Fork, which inherits its
+// parent's converged snapshot) reconvergence is incremental: the fault
+// arrays are diffed against the last converged base, per-AS SPF runs only
+// for ASes the delta touches (every other AS shares the base's tables),
+// and the BGP fixpoint is warm-started from the base's routes with
+// prefixes the delta provably cannot affect sharing the base state
+// untouched. The result is route-for-route identical to a cold
+// reconvergence — see WithIncrementalReconvergence to force the cold path.
 func (n *Network) ReconvergeCtx(ctx context.Context) error {
-	isUp := n.LinkIsUp
+	d := n.computeDelta()
+	isUp := n.linkUpFn
 	start := n.met.phaseStart()
-	n.igp = igp.NewCached(n.topo, isUp, n.spfCache, n.parallelism)
+	if d == nil {
+		n.igp = igp.NewCached(n.topo, isUp, n.spfCache, n.parallelism)
+	} else {
+		n.igp = igp.Rebuild(d.base.igp, isUp, d.dirtyASes, n.spfCache, n.parallelism)
+		if n.met != nil {
+			n.met.asRebuilds.Add(int64(len(d.dirtyASes)))
+		}
+	}
 	if n.met != nil {
 		n.met.spfNS.Observe(int64(telemetry.Since(start)))
 		start = telemetry.Now()
 	}
-	st, err := bgp.ComputeCtx(ctx, bgp.Config{
+	cfg := bgp.Config{
 		Topo:        n.topo,
 		IGP:         n.igp,
 		IsLinkUp:    isUp,
-		IsRouterUp:  n.RouterIsUp,
+		IsRouterUp:  n.routerUpFn,
 		Origins:     n.origins,
 		Filters:     n.filters,
 		Parallelism: n.parallelism,
 		Metrics:     n.met.bgpMetrics(),
-	})
+	}
+	if d != nil {
+		cfg.Warm = &bgp.Delta{
+			Prior:             d.base.bgp,
+			FailedRouters:     d.failedRouters,
+			DirtyASes:         d.dirtyASes,
+			ForceAll:          d.forceAll,
+			SessionsUnchanged: d.sessionsUnchanged,
+		}
+	}
+	st, err := bgp.ComputeCtx(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	if n.met != nil {
 		n.met.bgpNS.Observe(int64(telemetry.Since(start)))
 		n.met.reconverges.Inc()
+		if d != nil {
+			n.met.reconvergesInc.Inc()
+		}
 	}
 	n.bgp = st
 	n.converged = true
+	if n.incremental {
+		n.base = n.captureBase()
+	}
 	return nil
 }
 
@@ -287,35 +497,44 @@ func (n *Network) ReconvergeCtx(ctx context.Context) error {
 // fault mutations are pending a Reconverge).
 func (n *Network) Converged() bool { return n.converged }
 
-// Checkpoint captures the converged routing state so experiment loops can
-// return to the healthy network without recomputing convergence.
+// Checkpoint captures a converged network — the routing state together
+// with the exact fault configuration (link/router liveness, filters) it
+// was computed under — so experiment loops can return to it without
+// recomputing convergence.
 type Checkpoint struct {
-	igp *igp.State
-	bgp *bgp.State
+	base *baseState
 }
 
-// Checkpoint snapshots the current converged state. It panics if the
-// network has pending unconverged mutations.
+// Checkpoint snapshots the current converged state and fault
+// configuration. It panics if the network has pending unconverged
+// mutations. The baseline may be degraded: a checkpoint of a network with
+// active faults round-trips those faults through Restore.
 func (n *Network) Checkpoint() Checkpoint {
 	if !n.converged {
 		panic("netsim: Checkpoint on unconverged network")
 	}
-	return Checkpoint{igp: n.igp, bgp: n.bgp}
+	return Checkpoint{base: n.captureBase()}
 }
 
-// Restore clears all faults and filters and reinstates a checkpointed
-// routing state. The checkpoint must have been taken with no faults active.
+// Restore reinstates a checkpointed network: the routing state and the
+// checkpoint's fault configuration, including any faults and filters that
+// were active when the checkpoint was taken (earlier versions blanket-reset
+// every link and router to up instead). A later Reconverge is computed as
+// a delta against the restored state.
 func (n *Network) Restore(cp Checkpoint) {
-	for i := range n.linkUp {
-		n.linkUp[i] = true
-	}
-	for i := range n.routerUp {
-		n.routerUp[i] = true
-	}
-	n.filters = nil
-	n.igp = cp.igp
-	n.bgp = cp.bgp
+	// Alias the checkpoint's arrays copy-on-write: two networks restored
+	// from one checkpoint both go through ensureOwned before mutating, so
+	// neither can grow into (or write through) the shared backing arrays.
+	n.linkUp = cp.base.linkUp
+	n.routerUp = cp.base.routerUp
+	n.filters = cp.base.filters
+	n.shared = true
+	n.igp = cp.base.igp
+	n.bgp = cp.base.bgp
 	n.converged = true
+	if n.incremental {
+		n.base = cp.base
+	}
 }
 
 // forward computes the next hop from cur towards destination router dst,

@@ -56,6 +56,108 @@ func TestCheckpointRestore(t *testing.T) {
 	}
 }
 
+// TestCheckpointDegradedRoundTrip pins the repaired Checkpoint/Restore
+// contract: a checkpoint taken on a network with ACTIVE faults must restore
+// the fault configuration (link/router liveness, filters) along with the
+// routing state — not just the routing state, as an earlier version did.
+func TestCheckpointDegradedRoundTrip(t *testing.T) {
+	f := topology.BuildFig2()
+	n, err := New(f.Topo, []topology.ASN{f.ASA, f.ASB, f.ASC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensors := []topology.RouterID{f.S1, f.S2, f.S3}
+
+	// Build a degraded baseline: one failed link, one failed router, one
+	// export filter — then checkpoint it.
+	lb, _ := f.Topo.LinkBetween(f.R["b1"], f.R["b2"])
+	filt := bgp.ExportFilter{Router: f.R["y3"], Peer: f.R["c1"], Prefix: bgp.PrefixFor(f.ASA)}
+	n.FailLink(lb.ID)
+	n.FailRouter(f.R["y2"])
+	n.AddExportFilter(filt)
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	degraded := meshKey(n.Mesh(sensors))
+	cp := n.Checkpoint()
+
+	// Wander far away from the baseline, including clearing every fault.
+	n.ClearFaults()
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	lc, _ := f.Topo.LinkBetween(f.R["c1"], f.R["c2"])
+	n.FailLink(lc.ID)
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore must bring back the degraded fault configuration exactly.
+	n.Restore(cp)
+	if n.LinkIsUp(lb.ID) {
+		t.Fatal("Restore must re-apply the checkpointed link failure")
+	}
+	if n.RouterIsUp(f.R["y2"]) {
+		t.Fatal("Restore must re-apply the checkpointed router failure")
+	}
+	if !n.LinkIsUp(lc.ID) {
+		t.Fatal("Restore must clear faults added after the checkpoint")
+	}
+	if k := meshKey(n.Mesh(sensors)); k != degraded {
+		t.Fatalf("restored mesh differs from checkpointed degraded mesh:\n%s\nvs\n%s", k, degraded)
+	}
+
+	// The restored fault state must feed the next (incremental) delta: a
+	// further reconvergence must match a cold recompute of the same faults.
+	n2, err := New(f.Topo, []topology.ASN{f.ASA, f.ASB, f.ASC}, WithIncrementalReconvergence(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2.FailLink(lb.ID)
+	n2.FailRouter(f.R["y2"])
+	n2.AddExportFilter(filt)
+	n2.FailRouter(f.R["x2"])
+	if err := n2.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	n.FailRouter(f.R["x2"])
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	if diffs := n.BGP().DiffRoutes(n2.BGP(), 5); len(diffs) > 0 {
+		t.Fatalf("post-restore incremental reconvergence diverges from cold:\n%v", diffs)
+	}
+}
+
+// TestRestoreDoesNotShareFilterState pins that two networks restored from
+// one checkpoint own independent filter slices: appending a filter to one
+// must not leak into the other.
+func TestRestoreDoesNotShareFilterState(t *testing.T) {
+	f := topology.BuildFig2()
+	n, err := New(f.Topo, []topology.ASN{f.ASA, f.ASB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AddExportFilter(bgp.ExportFilter{Router: f.R["y4"], Peer: f.R["b1"], Prefix: bgp.PrefixFor(f.ASA)})
+	if err := n.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	cp := n.Checkpoint()
+	a, b := n.Fork(), n.Fork()
+	a.Restore(cp)
+	b.Restore(cp)
+	a.AddExportFilter(bgp.ExportFilter{Router: f.R["x1"], Peer: f.R["a2"], Prefix: bgp.PrefixFor(f.ASB)})
+	if err := a.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reconverge(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Traceroute(f.S1, f.S2); !got.OK {
+		t.Fatal("sibling restore saw a filter appended to the other network")
+	}
+}
+
 func TestCheckpointPanicsUnconverged(t *testing.T) {
 	f := topology.BuildFig2()
 	n, err := New(f.Topo, []topology.ASN{f.ASA})

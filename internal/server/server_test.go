@@ -147,6 +147,28 @@ func TestWarmRequestsReuseSnapshot(t *testing.T) {
 	}
 }
 
+// TestDiagnoseUsesIncrementalReconvergence pins the served warm path end to
+// end: a diagnosis forks the scenario's converged snapshot, so its
+// reconvergence must ride the delta-driven incremental path (not a cold
+// recompute) and record the dirty-set pruning telemetry.
+func TestDiagnoseUsesIncrementalReconvergence(t *testing.T) {
+	reg := telemetry.New()
+	s := New(Config{Telemetry: reg})
+	defer s.Close()
+	body := `{"scenario":"fig2","algorithm":"nd-edge","fail_links":[["b1","b2"]]}`
+	w := post(t, s.Handler(), body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("diagnose: %d: %s", w.Code, w.Body.String())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["netsim.reconverges_incremental"] == 0 {
+		t.Fatal("served diagnosis did not use incremental reconvergence")
+	}
+	if snap.Counters["bgp.prefixes_dirty"] == 0 {
+		t.Fatal("incremental reconvergence recorded no dirty prefixes for a real failure")
+	}
+}
+
 // waitCounter polls a telemetry counter until it reaches want.
 func waitCounter(t testing.TB, reg *telemetry.Registry, name string, want int64) {
 	t.Helper()

@@ -126,6 +126,13 @@ func (b *Builder) Build() (*Topology, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
+	t.intraByAS = make(map[ASN][]*PhysLink, len(t.asList))
+	for _, l := range t.links {
+		if l.Kind == Intra {
+			as := t.RouterAS(l.A)
+			t.intraByAS[as] = append(t.intraByAS[as], l)
+		}
+	}
 	return t, nil
 }
 

@@ -149,6 +149,9 @@ type Topology struct {
 	links   []*PhysLink
 	rels    map[asnPair]Rel
 	byAddr  map[string]RouterID
+	// intraByAS indexes links by owning AS, filled once in Build; the IGP
+	// reads it on every reconvergence so it must not be a per-call scan.
+	intraByAS map[ASN][]*PhysLink
 }
 
 // AS returns the AS with the given number, or nil if absent.
@@ -233,8 +236,12 @@ func (t *Topology) ASesOfKind(k ASKind) []ASN {
 	return out
 }
 
-// IntraLinks returns the intra-AS links of the given AS.
+// IntraLinks returns the intra-AS links of the given AS. The returned
+// slice is shared; callers must not modify it.
 func (t *Topology) IntraLinks(n ASN) []*PhysLink {
+	if t.intraByAS != nil {
+		return t.intraByAS[n]
+	}
 	var out []*PhysLink
 	for _, l := range t.links {
 		if l.Kind == Intra && t.RouterAS(l.A) == n {
