@@ -83,6 +83,36 @@ func runCompare(oldPath, newPath string, thresholdPct float64, w io.Writer) (reg
 			fmt.Fprintf(w, "%-55s %14.1f %14s %9s\n", oe.Name, oe.NsPerOp, "-", "removed")
 		}
 	}
+
+	// The snapshot section gates the fleet's cold-start win as a ratio: a
+	// scenario whose load speedup collapses versus the committed report
+	// fails the comparison even when no single benchmark tripped the ns/op
+	// threshold (cold getting faster shrinks the ratio too, but then the
+	// snapshot path must keep up to stay worth its complexity).
+	oldSnap := make(map[string]SnapshotScenario, len(oldRep.Snapshot))
+	for _, s := range oldRep.Snapshot {
+		oldSnap[s.Scenario] = s
+	}
+	for _, ns := range newRep.Snapshot {
+		prev, ok := oldSnap[ns.Scenario]
+		if !ok {
+			fmt.Fprintf(w, "%-55s %13sx %13.1fx %9s\n",
+				"snapshot-load-speedup/"+ns.Scenario, "-", ns.LoadSpeedup, "added")
+			continue
+		}
+		if prev.LoadSpeedup <= 0 || ns.LoadSpeedup <= 0 {
+			continue
+		}
+		drop := (prev.LoadSpeedup - ns.LoadSpeedup) / prev.LoadSpeedup * 100
+		mark := ""
+		if drop > thresholdPct {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-55s %13.1fx %13.1fx %+8.1f%%%s\n",
+			"snapshot-load-speedup/"+ns.Scenario, prev.LoadSpeedup, ns.LoadSpeedup, -drop, mark)
+	}
+
 	if regressions > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed beyond %.1f%%\n", regressions, thresholdPct)
 		return true, nil

@@ -216,3 +216,76 @@ func TestCompareMissingFile(t *testing.T) {
 		t.Fatal("missing report file must error")
 	}
 }
+
+const snapshotOutput = `pkg: netdiag/internal/snapshot
+BenchmarkSnapshotEncode/fig1     	    5000	      4000 ns/op	 100 MB/s
+BenchmarkSnapshotDecode/fig1     	    5000	      9000 ns/op	  50 MB/s
+BenchmarkWorkerStartCold/fig2    	     100	    500000 ns/op
+BenchmarkWorkerStartCold/fig1    	     100	     60000 ns/op
+BenchmarkWorkerStartLoad/fig1    	    5000	     10000 ns/op	  50 MB/s
+BenchmarkWorkerStartLoad/fig2    	    2000	    100000 ns/op	  80 MB/s
+ok  	netdiag/internal/snapshot	1.000s
+`
+
+func TestSnapshotSection(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(snapshotOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rep.Snapshot
+	if len(snap) != 2 {
+		t.Fatalf("snapshot section has %d scenarios, want 2: %+v", len(snap), snap)
+	}
+	// Sorted by scenario name regardless of input order.
+	if snap[0].Scenario != "fig1" || snap[1].Scenario != "fig2" {
+		t.Fatalf("scenario order = %s, %s", snap[0].Scenario, snap[1].Scenario)
+	}
+	if snap[0].ColdNsPerOp != 60000 || snap[0].LoadNsPerOp != 10000 || snap[0].LoadSpeedup != 6 {
+		t.Fatalf("fig1 = %+v", snap[0])
+	}
+	if snap[0].EncodeNsPerOp != 4000 || snap[0].DecodeNsPerOp != 9000 {
+		t.Fatalf("fig1 codec columns = %+v", snap[0])
+	}
+	if snap[1].LoadSpeedup != 5 || snap[1].EncodeNsPerOp != 0 {
+		t.Fatalf("fig2 = %+v", snap[1])
+	}
+}
+
+func TestSnapshotSectionAbsent(t *testing.T) {
+	in := "BenchmarkWorkerStartCold/fig1 	 10	 90000 ns/op\nok  	netdiag/internal/snapshot	0.020s\n"
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Snapshot != nil {
+		t.Fatalf("snapshot section = %+v, want absent (no load counterpart)", rep.Snapshot)
+	}
+}
+
+// TestCompareGatesSnapshotSpeedup pins the fleet cold-start gate: a load
+// speedup that collapses versus the committed report fails the compare
+// even when every individual benchmark stays inside the ns/op threshold.
+func TestCompareGatesSnapshotSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", &Report{
+		Snapshot: []SnapshotScenario{{Scenario: "fig1", ColdNsPerOp: 60000, LoadNsPerOp: 10000, LoadSpeedup: 6}},
+	})
+	held := writeReport(t, dir, "held.json", &Report{
+		Snapshot: []SnapshotScenario{{Scenario: "fig1", ColdNsPerOp: 58000, LoadNsPerOp: 10000, LoadSpeedup: 5.8}},
+	})
+	var buf bytes.Buffer
+	if regressed, err := runCompare(oldPath, held, 10, &buf); err != nil || regressed {
+		t.Fatalf("held speedup counted as regression (err %v):\n%s", err, buf.String())
+	}
+	collapsed := writeReport(t, dir, "collapsed.json", &Report{
+		Snapshot: []SnapshotScenario{{Scenario: "fig1", ColdNsPerOp: 60000, LoadNsPerOp: 30000, LoadSpeedup: 2}},
+	})
+	buf.Reset()
+	regressed, err := runCompare(oldPath, collapsed, 10, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed || !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("collapsed speedup not flagged:\n%s", buf.String())
+	}
+}

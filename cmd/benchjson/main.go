@@ -57,11 +57,24 @@ type IncrementalScenario struct {
 	DirtyFraction *float64 `json:"dirty_fraction,omitempty"`
 }
 
+// SnapshotScenario pairs one scenario's worker-start benchmarks: what
+// loading a persisted snapshot saves over the cold SPF+BGP convergence a
+// snapshot-less worker pays, plus the raw codec costs.
+type SnapshotScenario struct {
+	Scenario      string  `json:"scenario"`
+	ColdNsPerOp   float64 `json:"cold_ns_per_op"`
+	LoadNsPerOp   float64 `json:"load_ns_per_op"`
+	LoadSpeedup   float64 `json:"load_speedup,omitempty"`
+	EncodeNsPerOp float64 `json:"encode_ns_per_op,omitempty"`
+	DecodeNsPerOp float64 `json:"decode_ns_per_op,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Benchmarks  []Entry               `json:"benchmarks"`
 	Server      *ServerSection        `json:"server,omitempty"`
 	Incremental []IncrementalScenario `json:"incremental,omitempty"`
+	Snapshot    []SnapshotScenario    `json:"snapshot,omitempty"`
 }
 
 // serverSection derives the server summary from the parsed entries; it is
@@ -149,6 +162,51 @@ func incrementalSection(entries []Entry) []IncrementalScenario {
 	return out
 }
 
+// snapshotSection pairs BenchmarkWorkerStartCold/<scenario> entries with
+// their BenchmarkWorkerStartLoad/<scenario> counterparts (plus the codec
+// benchmarks when present). Scenarios missing either worker-start side
+// are dropped; the result is sorted by scenario name.
+func snapshotSection(entries []Entry) []SnapshotScenario {
+	cold := map[string]*Entry{}
+	load := map[string]*Entry{}
+	encode := map[string]*Entry{}
+	decode := map[string]*Entry{}
+	for _, e := range bestEntries(entries) {
+		if name, ok := strings.CutPrefix(e.Name, "BenchmarkWorkerStartCold/"); ok {
+			cold[name] = e
+		} else if name, ok := strings.CutPrefix(e.Name, "BenchmarkWorkerStartLoad/"); ok {
+			load[name] = e
+		} else if name, ok := strings.CutPrefix(e.Name, "BenchmarkSnapshotEncode/"); ok {
+			encode[name] = e
+		} else if name, ok := strings.CutPrefix(e.Name, "BenchmarkSnapshotDecode/"); ok {
+			decode[name] = e
+		}
+	}
+	names := make([]string, 0, len(cold))
+	for name := range cold {
+		if _, ok := load[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []SnapshotScenario
+	for _, name := range names {
+		c, l := cold[name], load[name]
+		s := SnapshotScenario{Scenario: name, ColdNsPerOp: c.NsPerOp, LoadNsPerOp: l.NsPerOp}
+		if l.NsPerOp > 0 {
+			s.LoadSpeedup = c.NsPerOp / l.NsPerOp
+		}
+		if e, ok := encode[name]; ok {
+			s.EncodeNsPerOp = e.NsPerOp
+		}
+		if d, ok := decode[name]; ok {
+			s.DecodeNsPerOp = d.NsPerOp
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two reports: benchjson -compare [-threshold pct] old.json new.json")
@@ -225,6 +283,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	}
 	rep.Server = serverSection(rep.Benchmarks)
 	rep.Incremental = incrementalSection(rep.Benchmarks)
+	rep.Snapshot = snapshotSection(rep.Benchmarks)
 	return rep, sc.Err()
 }
 

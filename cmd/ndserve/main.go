@@ -8,16 +8,25 @@
 //
 // Endpoints:
 //
-//	POST /v1/diagnose   {"scenario","algorithm","fail_links","fail_routers","timeout_ms"}
-//	GET  /v1/scenarios  registered scenarios and their warm state
-//	GET  /healthz       liveness
-//	GET  /readyz        readiness (200 once every scenario is warm)
+//	POST /v1/diagnose        {"scenario","algorithm","fail_links","fail_routers","timeout_ms"}
+//	POST /v1/diagnose/batch  {"scenario","algorithm","items":[...],"timeout_ms"}
+//	GET  /v1/scenarios       registered scenarios and their warm state
+//	GET  /healthz            liveness
+//	GET  /readyz             readiness (200 once every scenario is warm)
 //
 // With -watch, ndserve also runs the continuous monitoring loop of the
 // paper's deployment model (§6): the watched scenario is measured every
 // -watch-interval, and alarms confirmed by the transient-filtering
 // detector are diagnosed through the same admission queue as the HTTP
 // requests.
+//
+// A fleet splits the scenario set across worker processes and puts a
+// routing tier in front: every worker gets the same -scenarios list plus
+// -shard-of i/N (so it converges only the scenarios rendezvous hashing
+// assigns to shard i), and one more ndserve runs with -shards listing
+// the workers' base URLs, serving the same v1 API by proxying each
+// request to the owning shard. -snapshot-dir lets the workers persist
+// converged scenarios and skip convergence on restart.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -52,11 +62,28 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof for the telemetry registry on this address")
 		watch        = flag.String("watch", "", "scenario to measure continuously, diagnosing confirmed alarms through the queue")
 		watchEvery   = flag.Duration("watch-interval", 5*time.Second, "measurement round period for -watch")
+		shards       = flag.String("shards", "", "run as the fleet front: comma-separated worker base URLs, index = shard id (disables local diagnosis)")
+		shardOf      = flag.String("shard-of", "", "run as fleet worker i of N (\"i/N\"): register only the scenarios shard i owns")
+		snapshotDir  = flag.String("snapshot-dir", "", "persist converged scenarios here and recover them at warm-up")
 	)
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	reg, err := buildRegistry(*scenarios)
+	if *shards != "" {
+		if *shardOf != "" {
+			fatal(fmt.Errorf("-shards and -shard-of are mutually exclusive: the front runs no diagnoses"))
+		}
+		if err := runFront(*addr, *shards, *drainTimeout, logger); err != nil {
+			fatal(err)
+		}
+		logger.Info("front drained cleanly, exiting")
+		return
+	}
+	shardIdx, shardN, err := parseShardOf(*shardOf)
+	if err != nil {
+		fatal(err)
+	}
+	reg, err := buildRegistry(*scenarios, shardIdx, shardN)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,6 +95,7 @@ func main() {
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *reqTimeout,
 		DrainTimeout:   *drainTimeout,
+		SnapshotDir:    *snapshotDir,
 		Telemetry:      tele,
 		Logger:         logger,
 	})
@@ -105,13 +133,19 @@ func main() {
 	logger.Info("drained cleanly, exiting")
 }
 
-// buildRegistry resolves the -scenarios list into a registry.
-func buildRegistry(list string) (*server.Registry, error) {
+// buildRegistry resolves the -scenarios list into a registry. As fleet
+// worker shardIdx of shardN it registers only the scenarios that shard
+// owns under rendezvous hashing — possibly none, which is a legitimate
+// (instantly warm) worker; unsharded, an empty registry is a
+// configuration error.
+func buildRegistry(list string, shardIdx, shardN int) (*server.Registry, error) {
 	reg := server.NewRegistry()
 	for _, name := range strings.Split(list, ",") {
 		name = strings.TrimSpace(name)
+		if name == "" || (shardN > 1 && server.ShardIndex(name, shardN) != shardIdx) {
+			continue
+		}
 		switch {
-		case name == "":
 		case name == "fig1":
 			if err := reg.Register(name, server.Fig1Scenario); err != nil {
 				return nil, err
@@ -132,10 +166,79 @@ func buildRegistry(list string) (*server.Registry, error) {
 			return nil, fmt.Errorf("unknown scenario %q (want fig1, fig2 or research-<seed>)", name)
 		}
 	}
-	if len(reg.Names()) == 0 {
+	if len(reg.Names()) == 0 && shardN <= 1 {
 		return nil, fmt.Errorf("-scenarios registered nothing")
 	}
 	return reg, nil
+}
+
+// parseShardOf parses the -shard-of value "i/N"; empty means unsharded
+// (0 of 1).
+func parseShardOf(s string) (idx, n int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	i, rest, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard-of %q (want i/N)", s)
+	}
+	idx, err = strconv.Atoi(i)
+	if err == nil {
+		n, err = strconv.Atoi(rest)
+	}
+	if err != nil || n < 1 || idx < 0 || idx >= n {
+		return 0, 0, fmt.Errorf("bad -shard-of %q (want i/N with 0 <= i < N)", s)
+	}
+	return idx, n, nil
+}
+
+// runFront serves the fleet routing tier until SIGINT/SIGTERM, then
+// shuts down gracefully within drainTimeout. The front holds no state,
+// so its drain is just the HTTP server's.
+func runFront(addr, shards string, drainTimeout time.Duration, logger *slog.Logger) error {
+	var backends []string
+	for _, b := range strings.Split(shards, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if !strings.Contains(b, "://") {
+			b = "http://" + b
+		}
+		backends = append(backends, strings.TrimSuffix(b, "/"))
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("-shards listed no backends")
+	}
+	front := server.NewFront(server.FrontConfig{
+		Backends:  backends,
+		Client:    &http.Client{Timeout: 30 * time.Second},
+		Telemetry: telemetry.New(),
+		Logger:    logger,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Same stable marker as worker mode; fleet scripts parse it too.
+	fmt.Printf("ndserve: listening on %s\n", ln.Addr())
+	logger.Info("front routing", "shards", len(backends))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Handler: front.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), drainTimeout)
+	defer cancel()
+	err = srv.Shutdown(sctx)
+	<-serveErr // always http.ErrServerClosed after Shutdown
+	return err
 }
 
 // runWatch drives the monitor.Watcher: one measurement round of the

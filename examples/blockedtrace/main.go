@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -101,14 +102,22 @@ found:
 	}
 	lg := netdiag.NewLookingGlassRegistry(net.BGP(), beforeBGP, nil, asx, prefixes(origins))
 
+	ctx := context.Background()
 	// ND-bgpigp ignores unidentified links: it cannot see into the
 	// blocked AS.
-	bgpigp, err := netdiag.NDBgpIgp(meas, routing)
+	bgpigp, err := netdiag.New(
+		netdiag.WithAlgorithm(netdiag.NDBgpIgpAlgo),
+		netdiag.WithRoutingInfo(routing),
+	).Diagnose(ctx, meas)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// ND-LG maps the stars to ASes via Looking Glasses.
-	ndlg, err := netdiag.NDLG(meas, routing, lg)
+	ndlg, err := netdiag.New(
+		netdiag.WithAlgorithm(netdiag.NDLGAlgo),
+		netdiag.WithRoutingInfo(routing),
+		netdiag.WithLookingGlass(lg),
+	).Diagnose(ctx, meas)
 	if err != nil {
 		log.Fatal(err)
 	}

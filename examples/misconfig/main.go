@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,11 +41,12 @@ func main() {
 
 	meas := netdiag.ToMeasurements(before, after)
 
-	tomo, err := netdiag.Tomo(meas)
+	ctx := context.Background()
+	tomo, err := netdiag.New(netdiag.WithAlgorithm(netdiag.TomoAlgo)).Diagnose(ctx, meas)
 	if err != nil {
 		log.Fatal(err)
 	}
-	edge, err := netdiag.NDEdge(meas)
+	edge, err := netdiag.New(netdiag.WithAlgorithm(netdiag.NDEdgeAlgo)).Diagnose(ctx, meas)
 	if err != nil {
 		log.Fatal(err)
 	}

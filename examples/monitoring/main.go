@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -71,7 +72,8 @@ func main() {
 
 	// The alarm carries exactly what the diagnoser needs.
 	meas := netdiag.ToMeasurements(alarm.Baseline, alarm.Current)
-	res, err := netdiag.NDEdge(meas)
+	d := netdiag.New(netdiag.WithAlgorithm(netdiag.NDEdgeAlgo))
+	res, err := d.Diagnose(context.Background(), meas)
 	if err != nil {
 		log.Fatal(err)
 	}

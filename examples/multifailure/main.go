@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -122,11 +123,15 @@ func main() {
 			netdiag.Sensitivity(truth, res.PhysLinks()),
 			netdiag.Specificity(universe, truth, res.PhysLinks()))
 	}
-	tomo, err := netdiag.Tomo(meas)
+	ctx := context.Background()
+	tomo, err := netdiag.New(netdiag.WithAlgorithm(netdiag.TomoAlgo)).Diagnose(ctx, meas)
 	report("Tomo", tomo, err)
-	edge, err := netdiag.NDEdge(meas)
+	edge, err := netdiag.New(netdiag.WithAlgorithm(netdiag.NDEdgeAlgo)).Diagnose(ctx, meas)
 	report("ND-edge", edge, err)
-	bgpigp, err := netdiag.NDBgpIgp(meas, routing)
+	bgpigp, err := netdiag.New(
+		netdiag.WithAlgorithm(netdiag.NDBgpIgpAlgo),
+		netdiag.WithRoutingInfo(routing),
+	).Diagnose(ctx, meas)
 	report("ND-bgpigp", bgpigp, err)
 
 	fmt.Printf("\nAS-X (%s) observed %d BGP withdrawal(s) and %d IGP link-down(s)\n",

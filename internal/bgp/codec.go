@@ -1,0 +1,147 @@
+package bgp
+
+import (
+	"fmt"
+
+	"netdiag/internal/binpack"
+	"netdiag/internal/topology"
+)
+
+// AppendBinary encodes the converged routing state into w: the sorted
+// prefix list, then for every prefix the per-router best routes and the
+// slot-indexed Adj-RIB-Ins. The session layout itself is not serialized —
+// it is a pure function of topology and liveness, so DecodeBinary
+// re-derives it with buildLayout and only a slot-count check travels in
+// the stream to catch mismatched inputs.
+func (s *State) AppendBinary(w *binpack.Writer) {
+	w.Uint(uint64(len(s.layout.flat)))
+	w.Uint(uint64(s.rounds))
+	w.Uint(uint64(len(s.prefixes)))
+	for _, p := range s.prefixes {
+		w.String(string(p))
+		ps := s.per[p]
+		w.Uint(uint64(ps.rounds))
+		for _, rt := range ps.best {
+			appendRoute(w, rt)
+		}
+		// States shared from a warm compute keep a prior (superset) layout;
+		// resolving every slot of the current layout through adjAt writes
+		// the stream in current-layout order regardless.
+		for _, e := range s.layout.flat {
+			appendRoute(w, ps.adjAt(e.Local, e.Remote))
+		}
+	}
+}
+
+// appendRoute encodes one RIB entry (nil means no route). The prefix is
+// implied by the enclosing section.
+func appendRoute(w *binpack.Writer, rt *Route) {
+	if rt == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.Uint(uint64(len(rt.ASPath)))
+	for _, as := range rt.ASPath {
+		w.Uint(uint64(as))
+	}
+	w.Uint(uint64(rt.LocalPref))
+	w.Uint(uint64(rt.Egress))
+	w.Uint(uint64(rt.PeerRouter))
+	w.Bool(rt.Local)
+	w.Bool(rt.viaIBGP)
+}
+
+// DecodeBinary rebuilds a converged State from an AppendBinary stream.
+// cfg must describe the same topology, origins and liveness the state was
+// encoded under (the snapshot layer guarantees this via its digest): the
+// session layout is rebuilt from cfg, and the retained cfg is what later
+// warm computes read. Nil liveness callbacks default to all-up, exactly
+// as in ComputeCtx.
+func DecodeBinary(r *binpack.Reader, cfg Config) (*State, error) {
+	if cfg.IsLinkUp == nil {
+		cfg.IsLinkUp = func(topology.LinkID) bool { return true }
+	}
+	if cfg.IsRouterUp == nil {
+		cfg.IsRouterUp = func(topology.RouterID) bool { return true }
+	}
+	s := &State{
+		cfg:    cfg,
+		layout: buildLayout(&cfg),
+		per:    make(map[Prefix]*prefixState, len(cfg.Origins)),
+	}
+	if slots := r.Uint(); slots != uint64(len(s.layout.flat)) {
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("bgp: decoding state: %w", err)
+		}
+		return nil, fmt.Errorf("bgp: encoded session layout has %d slots, topology yields %d", slots, len(s.layout.flat))
+	}
+	s.rounds = int(r.Uint())
+	nprefix := r.Uint()
+	if nprefix != uint64(len(cfg.Origins)) {
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("bgp: decoding state: %w", err)
+		}
+		return nil, fmt.Errorf("bgp: encoded state has %d prefixes, origins have %d", nprefix, len(cfg.Origins))
+	}
+	nr := cfg.Topo.NumRouters()
+	s.prefixes = make([]Prefix, 0, nprefix)
+	for i := uint64(0); i < nprefix; i++ {
+		p := Prefix(r.String())
+		if _, ok := cfg.Origins[p]; !ok && r.Err() == nil {
+			return nil, fmt.Errorf("bgp: encoded prefix %q not in origins", p)
+		}
+		// best and adj split one pointer block; the route structs behind
+		// them split one arena.
+		blk := make([]*Route, nr+len(s.layout.flat))
+		ps := &prefixState{
+			best:   blk[:nr:nr],
+			adj:    blk[nr:],
+			layout: s.layout,
+			rounds: int(r.Uint()),
+		}
+		// One backing block for every route of this prefix section. The
+		// append below never exceeds the pre-sized capacity (at most one
+		// route per best/adj slot), so the taken pointers stay valid.
+		arena := make([]Route, 0, nr+len(s.layout.flat))
+		for j := range ps.best {
+			ps.best[j], arena = decodeRoute(r, p, arena)
+		}
+		for j := range ps.adj {
+			ps.adj[j], arena = decodeRoute(r, p, arena)
+		}
+		s.prefixes = append(s.prefixes, p)
+		s.per[p] = ps
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("bgp: decoding state: %w", err)
+	}
+	return s, nil
+}
+
+func decodeRoute(r *binpack.Reader, p Prefix, arena []Route) (*Route, []Route) {
+	if !r.Bool() {
+		return nil, arena
+	}
+	arena = append(arena, Route{Prefix: p})
+	rt := &arena[len(arena)-1]
+	n := r.Uint()
+	if n > uint64(r.Remaining()) {
+		// A path longer than the remaining bytes is corrupt input; latch
+		// the reader's error rather than allocating from a bogus length.
+		r.Fail(binpack.ErrTooLarge)
+		return nil, arena
+	}
+	if n > 0 {
+		rt.ASPath = make([]topology.ASN, n)
+		for i := range rt.ASPath {
+			rt.ASPath[i] = topology.ASN(r.Uint())
+		}
+	}
+	rt.LocalPref = int(r.Uint())
+	rt.Egress = topology.RouterID(r.Uint())
+	rt.PeerRouter = topology.RouterID(r.Uint())
+	rt.Local = r.Bool()
+	rt.viaIBGP = r.Bool()
+	return rt, arena
+}

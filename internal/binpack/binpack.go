@@ -1,0 +1,193 @@
+// Package binpack implements the primitive binary layer the snapshot
+// codecs share: an append-only writer and a sticky-error reader over
+// varint-packed integers, booleans, strings and bit sets. It depends on
+// nothing, so the igp, bgp, netsim and snapshot packages can all encode
+// through it without import cycles.
+//
+// The format is positional — there are no field tags — so reader and
+// writer must agree on the sequence of calls. Every multi-byte integer is
+// an unsigned LEB128 varint (signed values go through zig-zag), strings
+// and byte blocks are length-prefixed, and bool slices are bit-packed
+// eight to a byte. Truncated or over-long input never panics: the reader
+// latches io.ErrUnexpectedEOF (or a bounds error) and every later read
+// returns zero values, so codecs check Err once at the end.
+package binpack
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// ErrTooLarge is latched by the reader when a length prefix exceeds the
+// remaining input — the signature of corrupt or truncated data, caught
+// before any oversized allocation happens.
+var ErrTooLarge = errors.New("binpack: length prefix exceeds remaining input")
+
+// Writer accumulates an encoded byte stream. The zero value is ready to
+// use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded stream. The slice aliases the writer's
+// buffer; encode everything before handing it out.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uint appends an unsigned varint.
+func (w *Writer) Uint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Int appends a signed varint (zig-zag encoded).
+func (w *Writer) Int(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Bool appends a single boolean byte.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bits appends a bool slice bit-packed eight to a byte, length first.
+func (w *Writer) Bits(bs []bool) {
+	w.Uint(uint64(len(bs)))
+	var cur byte
+	for i, b := range bs {
+		if b {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			w.buf = append(w.buf, cur)
+			cur = 0
+		}
+	}
+	if len(bs)%8 != 0 {
+		w.buf = append(w.buf, cur)
+	}
+}
+
+// Reader consumes a stream produced by Writer. The first decoding error
+// sticks: every later read returns zero values and Err reports it.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over data.
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// Err returns the first error the reader hit, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Fail latches err as the reader's error unless one is already set —
+// for codecs that discover semantic corruption (e.g. an element count
+// larger than the remaining input) before the positional reads would.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = io.ErrUnexpectedEOF
+	}
+}
+
+// Uint reads an unsigned varint.
+func (r *Reader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	// Fast path: almost every value in the snapshot streams (router IDs,
+	// distances, counts) fits one varint byte.
+	if r.off < len(r.buf) {
+		if b := r.buf[r.off]; b < 0x80 {
+			r.off++
+			return uint64(b)
+		}
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a signed (zig-zag) varint.
+func (r *Reader) Int() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bool reads a boolean byte.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.buf) {
+		r.fail()
+		return false
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b != 0
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.Remaining()) {
+		r.err = ErrTooLarge
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Bits reads a bit-packed bool slice.
+func (r *Reader) Bits() []bool {
+	n := r.Uint()
+	if r.err != nil {
+		return nil
+	}
+	nbytes := (n + 7) / 8
+	if nbytes > uint64(r.Remaining()) {
+		r.err = ErrTooLarge
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.buf[r.off+i/8]&(1<<(i%8)) != 0
+	}
+	r.off += int(nbytes)
+	return out
+}

@@ -1,0 +1,122 @@
+package binpack
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.Uint(0)
+	w.Uint(300)
+	w.Uint(1 << 40)
+	w.Int(-7)
+	w.Int(0)
+	w.Int(1 << 33)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("")
+	w.String("hello, 世界")
+	w.Bits(nil)
+	w.Bits([]bool{true})
+	w.Bits([]bool{true, false, true, true, false, false, true, false, true})
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint(); got != 0 {
+		t.Errorf("Uint = %d, want 0", got)
+	}
+	if got := r.Uint(); got != 300 {
+		t.Errorf("Uint = %d, want 300", got)
+	}
+	if got := r.Uint(); got != 1<<40 {
+		t.Errorf("Uint = %d, want 2^40", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Errorf("Int = %d, want -7", got)
+	}
+	if got := r.Int(); got != 0 {
+		t.Errorf("Int = %d, want 0", got)
+	}
+	if got := r.Int(); got != 1<<33 {
+		t.Errorf("Int = %d, want 2^33", got)
+	}
+	if got := r.Bool(); !got {
+		t.Error("Bool = false, want true")
+	}
+	if got := r.Bool(); got {
+		t.Error("Bool = true, want false")
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if got := r.String(); got != "hello, 世界" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Bits(); len(got) != 0 {
+		t.Errorf("Bits = %v, want empty", got)
+	}
+	if got := r.Bits(); len(got) != 1 || !got[0] {
+		t.Errorf("Bits = %v, want [true]", got)
+	}
+	want := []bool{true, false, true, true, false, false, true, false, true}
+	got := r.Bits()
+	if len(got) != len(want) {
+		t.Fatalf("Bits len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Bits[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var w Writer
+	w.String("abcdef")
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		_ = r.String()
+		if r.Err() == nil {
+			t.Errorf("cut at %d: no error", cut)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.Uint()
+	if !errors.Is(r.Err(), io.ErrUnexpectedEOF) {
+		t.Fatalf("Err = %v, want unexpected EOF", r.Err())
+	}
+	// Every later read keeps returning zero values without panicking.
+	if r.Bool() || r.String() != "" || r.Bits() != nil || r.Int() != 0 {
+		t.Error("reads after error returned non-zero values")
+	}
+}
+
+func TestOversizedLengthPrefix(t *testing.T) {
+	var w Writer
+	w.Uint(1 << 30) // claims a gigabyte follows
+	r := NewReader(w.Bytes())
+	if got := r.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if !errors.Is(r.Err(), ErrTooLarge) {
+		t.Fatalf("Err = %v, want ErrTooLarge", r.Err())
+	}
+	r2 := NewReader(w.Bytes())
+	if got := r2.Bits(); got != nil {
+		t.Errorf("Bits = %v, want nil", got)
+	}
+	if !errors.Is(r2.Err(), ErrTooLarge) {
+		t.Fatalf("Err = %v, want ErrTooLarge", r2.Err())
+	}
+}

@@ -61,3 +61,40 @@ func (w *WireResult) Encode(out io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(w)
 }
+
+// Stable machine-readable codes for WireError.Code. Every error the v1
+// HTTP surface emits carries exactly one of these.
+const (
+	ErrBadRequest = "bad_request" // malformed body or invalid failure set
+	ErrNotFound   = "not_found"   // unknown scenario
+	ErrQueueFull  = "queue_full"  // admission queue shed the request
+	ErrDraining   = "draining"    // server is shutting down
+	ErrTimeout    = "timeout"     // computation or wait exceeded its deadline
+	ErrCanceled   = "canceled"    // computation canceled mid-flight
+	ErrInternal   = "internal"    // unexpected server-side failure
+	ErrBadGateway = "bad_gateway" // shard front could not reach a backend
+)
+
+// WireError is the stable JSON error form of the v1 HTTP surface. Every
+// error response is the envelope {"error": WireError}; retryable statuses
+// (429, 503) also carry RetryAfterS, mirroring the Retry-After header for
+// clients that only look at bodies.
+type WireError struct {
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// Envelope renders the single-line {"error":{...}} form with a trailing
+// newline — the exact bytes every v1 error response carries, whether
+// standalone or embedded in a batch result slot (minus the newline there).
+func (e *WireError) Envelope() []byte {
+	b, err := json.Marshal(struct {
+		Error *WireError `json:"error"`
+	}{e})
+	if err != nil {
+		// Marshal of this shape cannot fail; keep a valid envelope anyway.
+		b = []byte(`{"error":{"code":"internal","message":"error encoding failed"}}`)
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,67 @@
+package igp
+
+import (
+	"fmt"
+
+	"netdiag/internal/binpack"
+	"netdiag/internal/topology"
+)
+
+// AppendBinary encodes the all-pairs distance tables into w in the dense
+// layout the snapshot codec persists: for every AS in ascending ASN
+// order, for every source router in the AS's canonical router order, one
+// varint per potential destination in that same order — value+1 when the
+// destination is reachable, 0 when the table has no entry. Router
+// identity is positional (derived from the topology at decode time), so
+// the encoding carries no IDs at all.
+func (s *State) AppendBinary(w *binpack.Writer) {
+	for _, asn := range s.topo.ASNumbers() {
+		routers := s.topo.AS(asn).Routers
+		for _, src := range routers {
+			row := s.dist[src]
+			for _, dst := range routers {
+				if v := row[dst]; v != Infinity {
+					w.Uint(uint64(v) + 1)
+				} else {
+					w.Uint(0)
+				}
+			}
+		}
+	}
+}
+
+// DecodeBinary rebuilds a State from an AppendBinary stream. topo must be
+// the topology the state was encoded against and isUp must describe the
+// same link liveness (the snapshot layer checks both via its digest);
+// they are retained for next-hop derivation exactly as in New.
+func DecodeBinary(r *binpack.Reader, topo *topology.Topology, isUp func(topology.LinkID) bool) (*State, error) {
+	n := topo.NumRouters()
+	s := &State{
+		topo: topo,
+		isUp: isUp,
+		dist: make([][]int32, n),
+	}
+	// All rows come from one Infinity-initialized slab: a single
+	// allocation rebuilds every distance table, and only the in-AS
+	// positions the stream carries are overwritten.
+	slab := make([]int32, n*n)
+	for i := range slab {
+		slab[i] = Infinity
+	}
+	for _, asn := range topo.ASNumbers() {
+		routers := topo.AS(asn).Routers
+		for _, src := range routers {
+			row := slab[int(src)*n : (int(src)+1)*n : (int(src)+1)*n]
+			for _, dst := range routers {
+				if v := r.Uint(); v != 0 {
+					row[dst] = int32(v - 1)
+				}
+			}
+			s.dist[src] = row
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("igp: decoding distance tables: %w", err)
+	}
+	return s, nil
+}

@@ -36,10 +36,14 @@ type State struct {
 	topo *topology.Topology
 	isUp func(topology.LinkID) bool
 	// dist is indexed by source RouterID (IDs are dense), one per-source
-	// distance table per router. Slice indexing keeps the BGP decision
-	// process's Dist reads cheap, and lets Rebuild clone the whole state
-	// with a memmove before overwriting the dirty ASes' entries.
-	dist []map[topology.RouterID]int
+	// distance row per router, itself indexed by destination RouterID with
+	// Infinity marking "no entry" (different AS or IGP-unreachable). Dense
+	// rows keep the BGP decision process's Dist reads at two slice
+	// indexings, let Rebuild clone the whole state with a memmove before
+	// overwriting the dirty ASes' rows, and let the snapshot codec rebuild
+	// all rows from one backing slab. Rows are read-only once published —
+	// Rebuild and the SPF cache share them by pointer.
+	dist [][]int32
 }
 
 // New computes IGP state for all ASes. isUp reports whether a physical
@@ -58,7 +62,7 @@ func New(topo *topology.Topology, isUp func(topology.LinkID) bool) *State {
 // read-only distance maps.
 type Cache struct {
 	mu      sync.Mutex
-	entries map[string]map[topology.RouterID]map[topology.RouterID]int
+	entries map[string]map[topology.RouterID][]int32
 
 	// Telemetry handles; nil (no-op) unless Instrument was called.
 	hits, misses *telemetry.Counter
@@ -67,7 +71,7 @@ type Cache struct {
 
 // NewCache returns an empty SPF cache.
 func NewCache() *Cache {
-	return &Cache{entries: map[string]map[topology.RouterID]map[topology.RouterID]int{}}
+	return &Cache{entries: map[string]map[topology.RouterID][]int32{}}
 }
 
 // Instrument attaches cache telemetry to a registry: the counters
@@ -119,10 +123,10 @@ func NewCached(topo *topology.Topology, isUp func(topology.LinkID) bool, cache *
 	s := &State{
 		topo: topo,
 		isUp: isUp,
-		dist: make([]map[topology.RouterID]int, topo.NumRouters()),
+		dist: make([][]int32, topo.NumRouters()),
 	}
 	asns := topo.ASNumbers()
-	perAS := make([]map[topology.RouterID]map[topology.RouterID]int, len(asns))
+	perAS := make([]map[topology.RouterID][]int32, len(asns))
 	_ = pool.ForEach(nil, workers, len(asns), func(i int) error {
 		perAS[i] = s.asTables(asns[i], cache)
 		return nil
@@ -149,10 +153,10 @@ func Rebuild(prev *State, isUp func(topology.LinkID) bool, dirty []topology.ASN,
 	s := &State{
 		topo: topo,
 		isUp: isUp,
-		// The copy shares every per-source table by pointer (read-only
+		// The copy shares every per-source row by pointer (read-only
 		// after construction); dirty-AS routers are overwritten below, so
-		// clean ones keep prev's tables — bit-identical, never recomputed.
-		dist: make([]map[topology.RouterID]int, len(prev.dist)),
+		// clean ones keep prev's rows — bit-identical, never recomputed.
+		dist: make([][]int32, len(prev.dist)),
 	}
 	copy(s.dist, prev.dist)
 	if len(dirty) == 1 || workers <= 1 {
@@ -165,7 +169,7 @@ func Rebuild(prev *State, isUp func(topology.LinkID) bool, dirty []topology.ASN,
 		}
 		return s
 	}
-	perAS := make([]map[topology.RouterID]map[topology.RouterID]int, len(dirty))
+	perAS := make([]map[topology.RouterID][]int32, len(dirty))
 	_ = pool.ForEach(nil, workers, len(dirty), func(i int) error {
 		perAS[i] = s.asTables(dirty[i], cache)
 		return nil
@@ -191,7 +195,7 @@ func (s *State) TablesEqual(o *State) bool {
 			return false
 		}
 		for dst, v := range d {
-			if ov, ok := od[dst]; !ok || ov != v {
+			if od[dst] != v {
 				return false
 			}
 		}
@@ -201,7 +205,7 @@ func (s *State) TablesEqual(o *State) bool {
 
 // asTables returns the per-source SPF tables of one AS, from the cache
 // when possible.
-func (s *State) asTables(asn topology.ASN, cache *Cache) map[topology.RouterID]map[topology.RouterID]int {
+func (s *State) asTables(asn topology.ASN, cache *Cache) map[topology.RouterID][]int32 {
 	var key string
 	if cache != nil {
 		var failed []topology.LinkID
@@ -227,9 +231,16 @@ func (s *State) asTables(asn topology.ASN, cache *Cache) map[topology.RouterID]m
 		}
 		cache.misses.Inc()
 	}
-	tables := make(map[topology.RouterID]map[topology.RouterID]int)
-	for _, src := range s.topo.AS(asn).Routers {
-		tables[src] = s.runSPF(src)
+	routers := s.topo.AS(asn).Routers
+	tables := make(map[topology.RouterID][]int32, len(routers))
+	// Dijkstra only ever settles routers inside asn, so clearing just
+	// those positions resets the scratch for the next source.
+	visited := make([]bool, s.topo.NumRouters())
+	for _, src := range routers {
+		tables[src] = s.runSPF(src, visited)
+		for _, r := range routers {
+			visited[r] = false
+		}
 	}
 	if cache != nil {
 		cache.mu.Lock()
@@ -260,20 +271,25 @@ func (q *pq) Pop() any {
 	return x
 }
 
-// runSPF computes single-source shortest path distances within src's AS.
-func (s *State) runSPF(src topology.RouterID) map[topology.RouterID]int {
+// runSPF computes single-source shortest path distances within src's AS as
+// a dense row over all router IDs (Infinity outside the AS or when
+// disconnected). visited is caller-owned scratch, all-false on entry.
+func (s *State) runSPF(src topology.RouterID, visited []bool) []int32 {
 	topo := s.topo
 	asn := topo.RouterAS(src)
-	dist := map[topology.RouterID]int{src: 0}
-	done := map[topology.RouterID]bool{}
+	row := make([]int32, topo.NumRouters())
+	for i := range row {
+		row[i] = Infinity
+	}
+	row[src] = 0
 
 	q := &pq{{router: src, dist: 0}}
 	for q.Len() > 0 {
 		cur := heap.Pop(q).(item)
-		if done[cur.router] {
+		if visited[cur.router] {
 			continue
 		}
-		done[cur.router] = true
+		visited[cur.router] = true
 		for _, lid := range topo.Router(cur.router).Links {
 			l := topo.Link(lid)
 			if l.Kind != topology.Intra || !s.isUp(lid) {
@@ -284,13 +300,13 @@ func (s *State) runSPF(src topology.RouterID) map[topology.RouterID]int {
 				continue
 			}
 			nd := cur.dist + l.Cost
-			if old, ok := dist[nb]; !ok || nd < old {
-				dist[nb] = nd
+			if int32(nd) < row[nb] {
+				row[nb] = int32(nd)
 				heap.Push(q, item{router: nb, dist: nd})
 			}
 		}
 	}
-	return dist
+	return row
 }
 
 // Dist returns the IGP distance from src to dst (same AS), or Infinity if
@@ -299,11 +315,11 @@ func (s *State) Dist(src, dst topology.RouterID) int {
 	if src == dst {
 		return 0
 	}
-	d, ok := s.dist[src][dst]
-	if !ok {
+	row := s.dist[src]
+	if row == nil {
 		return Infinity
 	}
-	return d
+	return int(row[dst])
 }
 
 // NextHop returns the next router on a shortest path from src to dst (both

@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"netdiag/internal/bgp"
+	"netdiag/internal/binpack"
+	"netdiag/internal/igp"
+	"netdiag/internal/topology"
+)
+
+// AppendState encodes the network's converged state into w: the fault
+// configuration (link/router liveness, export filters), the origin ASes,
+// then the IGP distance tables and the BGP routing state. The topology
+// itself is not serialized — DecodeNetwork is handed the same one, and
+// the snapshot layer's digest guards against a mismatch.
+func (n *Network) AppendState(w *binpack.Writer) error {
+	if !n.converged {
+		return fmt.Errorf("netsim: encoding unconverged network")
+	}
+	w.Bits(n.linkUp)
+	w.Bits(n.routerUp)
+	w.Uint(uint64(len(n.filters)))
+	for _, f := range n.filters {
+		w.Uint(uint64(f.Router))
+		w.Uint(uint64(f.Peer))
+		w.String(string(f.Prefix))
+	}
+	asns := make([]topology.ASN, 0, len(n.origins))
+	for _, as := range n.origins {
+		asns = append(asns, as)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	w.Uint(uint64(len(asns)))
+	for _, as := range asns {
+		w.Uint(uint64(as))
+	}
+	n.igp.AppendBinary(w)
+	n.bgp.AppendBinary(w)
+	return nil
+}
+
+// DecodeNetwork rebuilds a converged Network from an AppendState stream
+// over the given topology, skipping SPF and the BGP fixpoint entirely.
+// Options apply exactly as in New (parallelism, SPF cache, telemetry,
+// incremental reconvergence); the decoded network is converged, serves
+// traceroutes immediately, and later Reconverges are computed as deltas
+// against the decoded state just as they would be against a live one.
+func DecodeNetwork(r *binpack.Reader, topo *topology.Topology, opts ...Option) (*Network, error) {
+	n := &Network{
+		topo:        topo,
+		origins:     map[bgp.Prefix]topology.ASN{},
+		parallelism: 1,
+		incremental: true,
+	}
+	n.linkUpFn, n.routerUpFn = n.LinkIsUp, n.RouterIsUp
+	for _, o := range opts {
+		o(n)
+	}
+	if n.tele != nil {
+		n.met = newSimMetrics(n.tele)
+		if n.spfCache != nil {
+			n.spfCache.Instrument(n.tele)
+		}
+	}
+	n.linkUp = r.Bits()
+	n.routerUp = r.Bits()
+	if r.Err() == nil && (len(n.linkUp) != topo.NumLinks() || len(n.routerUp) != topo.NumRouters()) {
+		return nil, fmt.Errorf("netsim: encoded liveness arrays (%d links, %d routers) do not match topology (%d, %d)",
+			len(n.linkUp), len(n.routerUp), topo.NumLinks(), topo.NumRouters())
+	}
+	nfilters := r.Uint()
+	if nfilters > uint64(r.Remaining()) {
+		r.Fail(binpack.ErrTooLarge)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("netsim: decoding network state: %w", err)
+	}
+	for i := uint64(0); i < nfilters; i++ {
+		n.filters = append(n.filters, bgp.ExportFilter{
+			Router: topology.RouterID(r.Uint()),
+			Peer:   topology.RouterID(r.Uint()),
+			Prefix: bgp.Prefix(r.String()),
+		})
+	}
+	norigins := r.Uint()
+	if norigins > uint64(r.Remaining()) {
+		r.Fail(binpack.ErrTooLarge)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("netsim: decoding network state: %w", err)
+	}
+	for i := uint64(0); i < norigins; i++ {
+		as := topology.ASN(r.Uint())
+		if r.Err() == nil && topo.AS(as) == nil {
+			return nil, fmt.Errorf("netsim: encoded origin AS%d not in topology", as)
+		}
+		n.origins[bgp.PrefixFor(as)] = as
+	}
+	igpState, err := igp.DecodeBinary(r, topo, n.linkUpFn)
+	if err != nil {
+		return nil, err
+	}
+	n.igp = igpState
+	bgpState, err := bgp.DecodeBinary(r, bgp.Config{
+		Topo:        topo,
+		IGP:         n.igp,
+		IsLinkUp:    n.linkUpFn,
+		IsRouterUp:  n.routerUpFn,
+		Origins:     n.origins,
+		Filters:     n.filters,
+		Parallelism: n.parallelism,
+		Metrics:     n.met.bgpMetrics(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.bgp = bgpState
+	n.converged = true
+	if n.incremental {
+		n.base = n.captureBase()
+	}
+	return n, nil
+}

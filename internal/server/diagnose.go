@@ -14,6 +14,7 @@ import (
 	"netdiag/internal/experiment"
 	"netdiag/internal/lookingglass"
 	"netdiag/internal/monitor"
+	"netdiag/internal/netsim"
 )
 
 // DiagnoseRequest is the POST /v1/diagnose body: a registered scenario, a
@@ -67,6 +68,14 @@ func canonicalKey(scenarioName string, algo netdiag.Algorithm, links [][2]string
 	return scenarioName + "|" + algo.Slug() + "|" + strings.Join(tok, ",")
 }
 
+// parseAlgo resolves the optional wire algorithm field ("" means tomo).
+func parseAlgo(name string) (netdiag.Algorithm, error) {
+	if name == "" {
+		name = "tomo"
+	}
+	return netdiag.ParseAlgorithm(name)
+}
+
 // compute runs one diagnosis against a fork of the scenario's warm
 // snapshot and renders the stable wire JSON. This is the deterministic
 // core of the service: the same scenario, failure set and algorithm yield
@@ -78,29 +87,46 @@ func (s *Server) compute(ctx context.Context, req *DiagnoseRequest, algo netdiag
 		return nil, err
 	}
 	fork := snap.Net.Fork()
+	if err := applyFaults(snap, fork, req.FailLinks, req.FailRouters); err != nil {
+		return nil, err
+	}
+	return s.diagnoseFork(ctx, snap, fork, algo)
+}
+
+// applyFaults injects a request's failure set into fork, resolving router
+// references against the scenario snapshot.
+func applyFaults(snap *Snapshot, fork *netsim.Network, links [][2]string, routers []string) error {
 	topo := snap.Scenario.Topo
-	for _, l := range req.FailLinks {
+	for _, l := range links {
 		a, ok := snap.Router(l[0])
 		if !ok {
-			return nil, badRequestf("unknown router %q in fail_links", l[0])
+			return badRequestf("unknown router %q in fail_links", l[0])
 		}
 		b, ok := snap.Router(l[1])
 		if !ok {
-			return nil, badRequestf("unknown router %q in fail_links", l[1])
+			return badRequestf("unknown router %q in fail_links", l[1])
 		}
 		link, ok := topo.LinkBetween(a, b)
 		if !ok {
-			return nil, badRequestf("no link between %q and %q", l[0], l[1])
+			return badRequestf("no link between %q and %q", l[0], l[1])
 		}
 		fork.FailLink(link.ID)
 	}
-	for _, rr := range req.FailRouters {
+	for _, rr := range routers {
 		r, ok := snap.Router(rr)
 		if !ok {
-			return nil, badRequestf("unknown router %q in fail_routers", rr)
+			return badRequestf("unknown router %q in fail_routers", rr)
 		}
 		fork.FailRouter(r)
 	}
+	return nil
+}
+
+// diagnoseFork reconverges a faulted fork, measures the post-failure mesh,
+// runs the selected algorithm and renders the wire bytes. The single and
+// batch endpoints share this path, which is what makes a batch slot
+// byte-identical to the equivalent standalone response.
+func (s *Server) diagnoseFork(ctx context.Context, snap *Snapshot, fork *netsim.Network, algo netdiag.Algorithm) ([]byte, error) {
 	if err := fork.ReconvergeCtx(ctx); err != nil {
 		return nil, err
 	}
@@ -120,7 +146,7 @@ func (s *Server) compute(ctx context.Context, req *DiagnoseRequest, algo netdiag
 		ri := &netdiag.RoutingInfo{
 			ASX:          asx,
 			IGPDownLinks: experiment.AdaptIGPDowns(fork, asx),
-			Withdrawals: experiment.AdaptWithdrawals(topo,
+			Withdrawals: experiment.AdaptWithdrawals(snap.Scenario.Topo,
 				fork.ObserveWithdrawals(snap.BeforeBGP, asx), snap.SensorASes),
 		}
 		opts = append(opts, netdiag.WithRoutingInfo(ri))

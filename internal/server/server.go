@@ -8,10 +8,10 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
-	"netdiag"
 	"netdiag/internal/core"
 	"netdiag/internal/pool"
 	"netdiag/internal/probe"
@@ -48,6 +48,11 @@ type Config struct {
 	RequestTimeout time.Duration
 	// DrainTimeout bounds the graceful drain on shutdown. Zero selects 10s.
 	DrainTimeout time.Duration
+	// SnapshotDir, when non-empty, persists converged scenarios as
+	// snapshot files (one per scenario) and recovers them at warm-up, so
+	// a restarted or newly added worker skips SPF and the BGP fixpoint.
+	// Empty disables persistence.
+	SnapshotDir string
 	// Telemetry receives the server, queue and pipeline metrics; nil
 	// disables them (and never changes results).
 	Telemetry *telemetry.Registry
@@ -109,7 +114,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		reg:            cfg.Scenarios,
-		store:          NewStore(cfg.Scenarios, cfg.Parallelism, cfg.Telemetry),
+		store:          NewStore(cfg.Scenarios, cfg.Parallelism, cfg.SnapshotDir, cfg.Telemetry),
 		queue:          pool.NewQueue(cfg.Workers, cfg.QueueDepth, cfg.Telemetry),
 		flights:        newFlightGroup(cfg.Telemetry),
 		par:            cfg.Parallelism,
@@ -130,6 +135,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
+	mux.HandleFunc("POST /v1/diagnose/batch", s.handleDiagnoseBatch)
 	s.mux = mux
 	return s
 }
@@ -246,7 +252,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	for _, name := range s.reg.Names() {
 		scn, err := s.reg.Get(name)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeError(w, http.StatusInternalServerError, core.ErrInternal, err.Error())
 			return
 		}
 		infos = append(infos, ScenarioInfo{
@@ -272,27 +278,23 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	defer func() { s.latency.Observe(telemetry.Since(start).Nanoseconds()) }()
 
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		writeError(w, http.StatusServiceUnavailable, core.ErrDraining, "draining")
 		return
 	}
 	var req DiagnoseRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, core.ErrBadRequest, "invalid request body: "+err.Error())
 		return
 	}
-	algoName := req.Algorithm
-	if algoName == "" {
-		algoName = "tomo"
-	}
-	algo, err := netdiag.ParseAlgorithm(algoName)
+	algo, err := parseAlgo(req.Algorithm)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, core.ErrBadRequest, err.Error())
 		return
 	}
 	if !s.reg.Has(req.Scenario) {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown scenario %q", req.Scenario))
+		writeError(w, http.StatusNotFound, core.ErrNotFound, fmt.Sprintf("unknown scenario %q", req.Scenario))
 		return
 	}
 	timeout := s.requestTimeout
@@ -321,18 +323,18 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	})
 	if !ok {
 		s.shed.Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "diagnosis queue full")
+		writeError(w, http.StatusTooManyRequests, core.ErrQueueFull, "diagnosis queue full")
 		return
 	}
 	select {
 	case <-f.done:
 	case <-r.Context().Done():
-		writeError(w, http.StatusGatewayTimeout, "request context ended while waiting for diagnosis")
+		writeError(w, http.StatusGatewayTimeout, core.ErrTimeout, "request context ended while waiting for diagnosis")
 		return
 	}
 	if f.err != nil {
-		writeError(w, statusFor(f.err), f.err.Error())
+		status, code := statusFor(f.err)
+		writeError(w, status, code, f.err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -341,35 +343,49 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// statusFor maps computation errors to HTTP statuses.
-func statusFor(err error) int {
+// statusFor maps computation errors to an HTTP status and wire error code.
+func statusFor(err error) (int, string) {
 	var re *requestError
 	switch {
 	case errors.As(err, &re):
-		return re.status
+		if re.status == http.StatusNotFound {
+			return re.status, core.ErrNotFound
+		}
+		return re.status, core.ErrBadRequest
 	case errors.Is(err, errDraining):
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, core.ErrDraining
+	case errors.Is(err, errShed):
+		return http.StatusTooManyRequests, core.ErrQueueFull
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, core.ErrTimeout
 	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, core.ErrCanceled
 	default:
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, core.ErrInternal
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
+// errorEnvelope builds the WireError a status/code/message triple puts on
+// the wire. Retryable statuses carry retry_after_s so the body alone tells
+// a client what the Retry-After header would.
+func errorEnvelope(status int, code, msg string) *core.WireError {
+	we := &core.WireError{Code: code, Message: msg}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		we.RetryAfterS = 1
+	}
+	return we
+}
+
+// writeError emits the v1 error envelope. 429 and 503 both get a
+// Retry-After header matching the envelope's retry_after_s.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	we := errorEnvelope(status, code, msg)
+	if we.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(we.RetryAfterS))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	resp := struct {
-		Error string `json:"error"`
-	}{Error: msg}
-	b, err := json.Marshal(resp)
-	if err != nil {
-		return
-	}
-	b = append(b, '\n')
-	_, _ = w.Write(b)
+	_, _ = w.Write(we.Envelope())
 }
 
 // decodeWire parses the wire JSON back into its struct form (the alarm

@@ -297,13 +297,14 @@ func TestDiagnoseErrors(t *testing.T) {
 	cases := []struct {
 		name, body string
 		want       int
+		wantCode   string
 	}{
-		{"unknown scenario", `{"scenario":"nope"}`, http.StatusNotFound},
-		{"unknown algorithm", `{"scenario":"fig2","algorithm":"magic"}`, http.StatusBadRequest},
-		{"bad json", `{"scenario":`, http.StatusBadRequest},
-		{"unknown field", `{"scenario":"fig2","frobnicate":1}`, http.StatusBadRequest},
-		{"unknown router", `{"scenario":"fig2","fail_routers":["zz9"]}`, http.StatusBadRequest},
-		{"no such link", `{"scenario":"fig2","fail_links":[["s1","s2"]]}`, http.StatusBadRequest},
+		{"unknown scenario", `{"scenario":"nope"}`, http.StatusNotFound, "not_found"},
+		{"unknown algorithm", `{"scenario":"fig2","algorithm":"magic"}`, http.StatusBadRequest, "bad_request"},
+		{"bad json", `{"scenario":`, http.StatusBadRequest, "bad_request"},
+		{"unknown field", `{"scenario":"fig2","frobnicate":1}`, http.StatusBadRequest, "bad_request"},
+		{"unknown router", `{"scenario":"fig2","fail_routers":["zz9"]}`, http.StatusBadRequest, "bad_request"},
+		{"no such link", `{"scenario":"fig2","fail_links":[["s1","s2"]]}`, http.StatusBadRequest, "bad_request"},
 	}
 	for _, c := range cases {
 		w := post(t, s.Handler(), c.body)
@@ -311,10 +312,16 @@ func TestDiagnoseErrors(t *testing.T) {
 			t.Errorf("%s: status %d, want %d (%s)", c.name, w.Code, c.want, w.Body.String())
 		}
 		var e struct {
-			Error string `json:"error"`
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
 		}
-		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
-			t.Errorf("%s: error body %q not {\"error\":...}", c.name, w.Body.String())
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error.Message == "" {
+			t.Errorf("%s: error body %q not the v1 envelope", c.name, w.Body.String())
+		}
+		if e.Error.Code != c.wantCode {
+			t.Errorf("%s: error code %q, want %q", c.name, e.Error.Code, c.wantCode)
 		}
 	}
 	// Wrong method on a registered pattern.

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"netdiag/internal/core"
+	"netdiag/internal/telemetry"
+)
+
+// ShardIndex assigns a scenario to one of n shards by rendezvous
+// (highest-random-weight) hashing: every (scenario, shard) pair gets an
+// FNV-64a weight and the scenario belongs to the shard with the highest.
+// Unlike modulo hashing, growing the fleet from n to n+1 shards only
+// moves the ~1/(n+1) of scenarios whose new shard wins — every other
+// scenario keeps its warm snapshot where it is. n <= 1 maps everything
+// to shard 0.
+func ShardIndex(scenario string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	best, bestW := 0, uint64(0)
+	for i := 0; i < n; i++ {
+		h := fnv.New64a()
+		io.WriteString(h, scenario)
+		io.WriteString(h, "|shard|")
+		io.WriteString(h, strconv.Itoa(i))
+		if w := h.Sum64(); i == 0 || w > bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// FrontConfig parameterizes a Front.
+type FrontConfig struct {
+	// Backends are the shard workers' base URLs (e.g.
+	// "http://127.0.0.1:8081"); index i is shard i of len(Backends). The
+	// fleet only routes correctly when every worker was started with the
+	// matching -shard-of i/N filter.
+	Backends []string
+	// Client performs the proxied requests; nil selects a default client.
+	Client *http.Client
+	// Telemetry receives the "front.*" counters; nil disables them.
+	Telemetry *telemetry.Registry
+	// Logger receives proxy failure records; nil logs nothing.
+	Logger *slog.Logger
+}
+
+// Front is the fleet's routing tier: a thin, stateless proxy that owns no
+// snapshots and runs no diagnoses. It routes each diagnosis to the shard
+// that owns its scenario (see ShardIndex), merges the per-shard scenario
+// listings, and aggregates readiness, so clients see one v1 API over the
+// whole fleet.
+type Front struct {
+	backends []string
+	client   *http.Client
+	log      *slog.Logger
+	mux      *http.ServeMux
+
+	proxied     *telemetry.Counter
+	backendErrs *telemetry.Counter
+}
+
+// NewFront builds the routing tier over cfg.Backends. It panics if no
+// backends are configured — a front with nothing behind it can serve no
+// request at all.
+func NewFront(cfg FrontConfig) *Front {
+	if len(cfg.Backends) == 0 {
+		panic("server: NewFront needs at least one backend")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	f := &Front{
+		backends:    cfg.Backends,
+		client:      client,
+		log:         cfg.Logger,
+		proxied:     cfg.Telemetry.Counter("front.proxied"),
+		backendErrs: cfg.Telemetry.Counter("front.backend_errors"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	mux.HandleFunc("GET /readyz", f.handleReadyz)
+	mux.HandleFunc("GET /v1/scenarios", f.handleScenarios)
+	mux.HandleFunc("POST /v1/diagnose", f.handleProxy)
+	mux.HandleFunc("POST /v1/diagnose/batch", f.handleProxy)
+	f.mux = mux
+	return f
+}
+
+// Handler returns the front's HTTP API — the same v1 surface a single
+// worker serves.
+func (f *Front) Handler() http.Handler { return f.mux }
+
+func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz aggregates shard readiness: the fleet is ready only when
+// every shard answers /readyz with 200. The body names the first shard
+// that is not, so an operator can tell a warming fleet from a dead one.
+func (f *Front) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for i, base := range f.backends {
+		status, body, err := f.get(r, base, "/readyz")
+		if err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "shard %d: unreachable: %v\n", i, err)
+			return
+		}
+		if status != http.StatusOK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "shard %d: %s", i, body)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleScenarios merges the shard listings into one, sorted by name —
+// the union a single unsharded worker would have served.
+func (f *Front) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	var infos []ScenarioInfo
+	for i, base := range f.backends {
+		status, body, err := f.get(r, base, "/v1/scenarios")
+		if err != nil {
+			f.backendError(w, i, err)
+			return
+		}
+		if status != http.StatusOK {
+			f.backendError(w, i, fmt.Errorf("scenario listing answered %d", status))
+			return
+		}
+		var part []ScenarioInfo
+		if err := json.Unmarshal(body, &part); err != nil {
+			f.backendError(w, i, fmt.Errorf("bad scenario listing: %w", err))
+			return
+		}
+		infos = append(infos, part...)
+	}
+	sort.Slice(infos, func(a, b int) bool { return infos[a].Name < infos[b].Name })
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(infos); err != nil && f.log != nil {
+		f.log.Warn("encoding merged scenario listing", "err", err)
+	}
+}
+
+// handleProxy forwards a diagnosis (single or batch — the two bodies
+// agree on the scenario field) to the shard that owns its scenario, and
+// relays the shard's exact status, retry signal and body. The front adds
+// no interpretation of its own: a shed (429) or draining (503) from the
+// worker passes through with its Retry-After intact, so the client's
+// backoff contract is the same with or without the routing tier.
+func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
+	f.proxied.Inc()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, core.ErrBadRequest, "reading request body: "+err.Error())
+		return
+	}
+	var sniff struct {
+		Scenario string `json:"scenario"`
+	}
+	if err := json.Unmarshal(body, &sniff); err != nil {
+		writeError(w, http.StatusBadRequest, core.ErrBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	shard := ShardIndex(sniff.Scenario, len(f.backends))
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		f.backends[shard]+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, core.ErrInternal, err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.backendError(w, shard, err)
+		return
+	}
+	defer resp.Body.Close()
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil && f.log != nil {
+		f.log.Warn("relaying shard response", "shard", shard, "err", err)
+	}
+}
+
+// get performs one backend GET under the incoming request's context and
+// returns the status and full body.
+func (f *Front) get(r *http.Request, base, path string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, base+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// backendError reports a shard the front could not use: 502 with the
+// bad_gateway envelope naming the shard, so a client can tell a fleet
+// fault from a bad request.
+func (f *Front) backendError(w http.ResponseWriter, shard int, err error) {
+	f.backendErrs.Inc()
+	if f.log != nil {
+		f.log.Warn("shard backend failed", "shard", shard, "err", err)
+	}
+	writeError(w, http.StatusBadGateway, core.ErrBadGateway,
+		fmt.Sprintf("shard %d: %v", shard, err))
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"netdiag/internal/telemetry"
+)
+
+func TestShardIndex(t *testing.T) {
+	if got := ShardIndex("fig1", 1); got != 0 {
+		t.Errorf("ShardIndex(fig1, 1) = %d, want 0", got)
+	}
+	if got := ShardIndex("fig1", 0); got != 0 {
+		t.Errorf("ShardIndex(fig1, 0) = %d, want 0", got)
+	}
+	names := []string{"fig1", "fig2"}
+	for i := 0; i < 100; i++ {
+		names = append(names, "research-"+strings.Repeat("7", i%5+1)+string(rune('a'+i%26)))
+	}
+	const n = 4
+	hits := make([]int, n)
+	for _, name := range names {
+		got := ShardIndex(name, n)
+		if got < 0 || got >= n {
+			t.Fatalf("ShardIndex(%q, %d) = %d, out of range", name, n, got)
+		}
+		if again := ShardIndex(name, n); again != got {
+			t.Fatalf("ShardIndex(%q, %d) unstable: %d then %d", name, n, got, again)
+		}
+		hits[got]++
+	}
+	for i, c := range hits {
+		if c == 0 {
+			t.Errorf("shard %d got none of %d scenarios: %v", i, len(names), hits)
+		}
+	}
+	// Rendezvous hashing's point: adding a shard must not reshuffle the
+	// scenarios that stay. Everything not claimed by the new shard keeps
+	// its old assignment.
+	for _, name := range names {
+		before, after := ShardIndex(name, n), ShardIndex(name, n+1)
+		if after != n && after != before {
+			t.Errorf("ShardIndex(%q): %d -> %d when growing %d -> %d shards (only moves to the new shard are allowed)",
+				name, before, after, n, n+1)
+		}
+	}
+}
+
+// fleet starts a two-shard fleet over fig1+fig2: each worker registers
+// only the scenarios ShardIndex assigns it, and the front routes across
+// both. Returns the front plus the per-shard workers (index = shard id).
+func fleet(t *testing.T) (*Front, [2]*Server) {
+	t.Helper()
+	builders := map[string]Builder{"fig1": Fig1Scenario, "fig2": Fig2Scenario}
+	var workers [2]*Server
+	var backends []string
+	for i := range workers {
+		reg := NewRegistry()
+		for _, name := range []string{"fig1", "fig2"} {
+			if ShardIndex(name, len(workers)) == i {
+				if err := reg.Register(name, builders[name]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		w := New(Config{Scenarios: reg})
+		t.Cleanup(w.Close)
+		if err := w.WarmAll(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(w.Handler())
+		t.Cleanup(ts.Close)
+		workers[i] = w
+		backends = append(backends, ts.URL)
+	}
+	return NewFront(FrontConfig{Backends: backends, Telemetry: telemetry.New()}), workers
+}
+
+// TestFrontRoutesByShard pins the fleet contract: the front serves the
+// same v1 surface as one big worker — a diagnosis routed to the owning
+// shard answers byte-identically to asking that worker directly, the
+// scenario listings merge sorted, and readiness aggregates.
+func TestFrontRoutesByShard(t *testing.T) {
+	front, workers := fleet(t)
+
+	for _, scenario := range []string{"fig1", "fig2"} {
+		body := `{"scenario":"` + scenario + `","algorithm":"nd-edge","fail_links":[["b1","b2"]]}`
+		if scenario == "fig1" {
+			body = `{"scenario":"fig1","fail_links":[["r9","r11"]]}`
+		}
+		got := post(t, front.Handler(), body)
+		owner := workers[ShardIndex(scenario, len(workers))]
+		want := post(t, owner.Handler(), body)
+		if got.Code != want.Code || got.Body.String() != want.Body.String() {
+			t.Errorf("%s via front = %d %q, direct shard = %d %q",
+				scenario, got.Code, got.Body.String(), want.Code, want.Body.String())
+		}
+		if got.Code != http.StatusOK {
+			t.Errorf("%s via front = %d, want 200: %s", scenario, got.Code, got.Body.String())
+		}
+	}
+
+	// Batch rides the same proxy path.
+	w := postBatch(t, front.Handler(), `{"scenario":"fig2","items":[{"fail_links":[["b1","b2"]]},{"fail_routers":["y1"]}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch via front = %d: %s", w.Code, w.Body.String())
+	}
+	var batch BatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &batch); err != nil || len(batch.Results) != 2 {
+		t.Fatalf("batch via front decoded %d results (%v): %s", len(batch.Results), err, w.Body.String())
+	}
+
+	// Unknown scenarios hash somewhere; the owning shard answers 404 and
+	// the front passes it through untouched.
+	w = post(t, front.Handler(), `{"scenario":"nope"}`)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("unknown scenario via front = %d, want 404: %s", w.Code, w.Body.String())
+	}
+
+	w = get(t, front.Handler(), "/v1/scenarios")
+	var infos []ScenarioInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &infos); err != nil {
+		t.Fatalf("decoding merged listing: %v", err)
+	}
+	if len(infos) != 2 || infos[0].Name != "fig1" || infos[1].Name != "fig2" || !infos[0].Warm || !infos[1].Warm {
+		t.Errorf("merged listing = %+v, want warm fig1, fig2", infos)
+	}
+
+	w = get(t, front.Handler(), "/readyz")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ready") {
+		t.Errorf("fleet readyz = %d %q, want 200 ready", w.Code, w.Body.String())
+	}
+	w = get(t, front.Handler(), "/healthz")
+	if w.Code != http.StatusOK {
+		t.Errorf("front healthz = %d, want 200", w.Code)
+	}
+}
+
+// TestFrontShardDown pins the failure surface: a dead shard turns into
+// 502 bad_gateway envelopes for its scenarios and flips fleet readiness,
+// while the surviving shard's scenarios keep working through the front.
+func TestFrontShardDown(t *testing.T) {
+	front, workers := fleet(t)
+	dead := ShardIndex("fig1", len(workers))
+	// Point the dead shard's slot at a closed listener.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close()
+	front.backends[dead] = ts.URL
+
+	w := post(t, front.Handler(), `{"scenario":"fig1"}`)
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("diagnose on dead shard = %d, want 502: %s", w.Code, w.Body.String())
+	}
+	var e struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error.Code != "bad_gateway" {
+		t.Errorf("dead shard envelope code = %q (%s), want bad_gateway", e.Error.Code, w.Body.String())
+	}
+
+	if live := ShardIndex("fig2", len(workers)); live != dead {
+		w = post(t, front.Handler(), `{"scenario":"fig2","fail_links":[["b1","b2"]]}`)
+		if w.Code != http.StatusOK {
+			t.Errorf("diagnose on live shard = %d, want 200: %s", w.Code, w.Body.String())
+		}
+	}
+
+	w = get(t, front.Handler(), "/readyz")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "unreachable") {
+		t.Errorf("readyz with dead shard = %d %q, want 503 naming it unreachable", w.Code, w.Body.String())
+	}
+	w = get(t, front.Handler(), "/v1/scenarios")
+	if w.Code != http.StatusBadGateway {
+		t.Errorf("scenario listing with dead shard = %d, want 502", w.Code)
+	}
+}
+
+// TestFrontPropagatesRetryAfter pins pass-through of the retry contract:
+// a draining worker's 503 (status, Retry-After header and envelope)
+// reaches the client unchanged through the routing tier.
+func TestFrontPropagatesRetryAfter(t *testing.T) {
+	front, workers := fleet(t)
+	workers[ShardIndex("fig2", len(workers))].draining.Store(true)
+
+	w := post(t, front.Handler(), `{"scenario":"fig2"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining shard via front = %d, want 503: %s", w.Code, w.Body.String())
+	}
+	if ra := w.Result().Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After via front = %q, want \"1\"", ra)
+	}
+	var e struct {
+		Error struct {
+			Code        string `json:"code"`
+			RetryAfterS int    `json:"retry_after_s"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error.Code != "draining" || e.Error.RetryAfterS != 1 {
+		t.Errorf("draining envelope via front = %+v (%s), want code draining retry_after_s 1", e.Error, w.Body.String())
+	}
+
+	w = get(t, front.Handler(), "/readyz")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "draining") {
+		t.Errorf("readyz with draining shard = %d %q, want 503 draining", w.Code, w.Body.String())
+	}
+}

@@ -59,8 +59,9 @@ type storeEntry struct {
 // scenario share one convergence (singleflight); a failed convergence is
 // cleared so the next request retries it.
 type Store struct {
-	reg *Registry
-	par int
+	reg     *Registry
+	par     int
+	snapDir string
 
 	mu      sync.Mutex
 	entries map[string]*storeEntry
@@ -68,22 +69,30 @@ type Store struct {
 	tele          *telemetry.Registry
 	warmHits      *telemetry.Counter
 	coldConverges *telemetry.Counter
+	snapLoads     *telemetry.Counter
+	snapSaves     *telemetry.Counter
 	warmupNS      *telemetry.Histogram
 }
 
 // NewStore returns a store over the registry. parallelism bounds the
 // workers each scenario's network uses for convergence and meshing (<= 0
-// selects GOMAXPROCS); a non-nil telemetry registry receives the
-// "server.warm_hits" / "server.cold_converges" counters, the
-// "server.warmup_ns" histogram and the simulation-layer metrics.
-func NewStore(reg *Registry, parallelism int, tele *telemetry.Registry) *Store {
+// selects GOMAXPROCS); snapshotDir, when non-empty, is the directory
+// warm snapshots are persisted to and recovered from (see Store.build);
+// a non-nil telemetry registry receives the "server.warm_hits" /
+// "server.cold_converges" / "server.snapshot_loads" /
+// "server.snapshot_saves" counters, the "server.warmup_ns" histogram and
+// the simulation-layer metrics.
+func NewStore(reg *Registry, parallelism int, snapshotDir string, tele *telemetry.Registry) *Store {
 	return &Store{
 		reg:           reg,
 		par:           parallelism,
+		snapDir:       snapshotDir,
 		entries:       map[string]*storeEntry{},
 		tele:          tele,
 		warmHits:      tele.Counter("server.warm_hits"),
 		coldConverges: tele.Counter("server.cold_converges"),
+		snapLoads:     tele.Counter("server.snapshot_loads"),
+		snapSaves:     tele.Counter("server.snapshot_saves"),
 		warmupNS:      tele.Histogram("server.warmup_ns", telemetry.DurationBuckets),
 	}
 }
@@ -151,6 +160,9 @@ func (s *Store) converge(name string, e *storeEntry) {
 // harness setup: the network announces one prefix per sensor AS, a shared
 // SPF cache makes request forks reuse unchanged per-AS routing tables,
 // and the healthy full mesh plus the BGP state become the T- baseline.
+// With a snapshot directory configured, a persisted snapshot short-cuts
+// the whole convergence, and a cold convergence persists its result for
+// the next worker.
 func (s *Store) build(name string) (*Snapshot, error) {
 	scn, err := s.reg.Get(name)
 	if err != nil {
@@ -168,20 +180,32 @@ func (s *Store) build(name string) (*Snapshot, error) {
 			origins = append(origins, as)
 		}
 	}
-	net, err := netsim.New(topo, origins,
+	opts := []netsim.Option{
 		netsim.WithSPFCache(igp.NewCache()),
 		netsim.WithParallelism(s.par),
-		netsim.WithTelemetry(s.tele))
-	if err != nil {
-		return nil, fmt.Errorf("server: converging scenario %q: %w", name, err)
+		netsim.WithTelemetry(s.tele),
 	}
-	before := net.Mesh(scn.Sensors)
-	if before.AnyFailed() {
-		return nil, fmt.Errorf("server: scenario %q: pre-failure mesh has unreachable pairs", name)
-	}
-	table, err := ip2as.FromTopology(topo)
-	if err != nil {
-		return nil, fmt.Errorf("server: scenario %q: %w", name, err)
+	var (
+		net    *netsim.Network
+		before *probe.Mesh
+		table  *ip2as.Table
+	)
+	if loaded := s.loadSnapshot(name, scn, opts); loaded != nil {
+		net, before, table = loaded.Net, loaded.Mesh, loaded.IP2AS
+	} else {
+		net, err = netsim.New(topo, origins, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("server: converging scenario %q: %w", name, err)
+		}
+		before = net.Mesh(scn.Sensors)
+		if before.AnyFailed() {
+			return nil, fmt.Errorf("server: scenario %q: pre-failure mesh has unreachable pairs", name)
+		}
+		table, err = ip2as.FromTopology(topo)
+		if err != nil {
+			return nil, fmt.Errorf("server: scenario %q: %w", name, err)
+		}
+		s.persistSnapshot(name, scn, net, before, table)
 	}
 	prefixes := make([]bgp.Prefix, len(sensorASes))
 	for i, as := range sensorASes {

@@ -1,0 +1,333 @@
+// Package snapshot implements the persistent form of a converged
+// scenario: a compact, versioned binary encoding of a netsim.Network
+// together with the derived artifacts a diagnosis service needs (the
+// pre-failure traceroute mesh and the IP-to-AS table). ndserve writes one
+// at first convergence and later workers Decode it to skip SPF and the
+// BGP fixpoint entirely — the fleet's near-zero cold start.
+//
+// The wire layout is:
+//
+//	magic "NDSN" | payload (binpack) | crc32c digest of everything before
+//
+// and the payload opens with the format version and a digest of the
+// topology it was encoded against, so a reader can reject foreign files,
+// future versions, corrupt bytes and topology mismatches before touching
+// any state. Everything inside is positional binpack — see the igp, bgp
+// and netsim codecs for the per-layer formats.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"sync"
+
+	"netdiag/internal/binpack"
+	"netdiag/internal/ip2as"
+	"netdiag/internal/netsim"
+	"netdiag/internal/probe"
+	"netdiag/internal/topology"
+)
+
+// Version is the snapshot format version this package reads and writes.
+// Any layout change to the payload or the per-layer codecs must bump it.
+const Version = 1
+
+var magic = [4]byte{'N', 'D', 'S', 'N'}
+
+// castagnoli is the CRC-32C table the envelope digest uses; the
+// polynomial has hardware support on both amd64 and arm64, so integrity
+// checking costs almost nothing on the load path.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	// ErrMagic means the input is not a snapshot file at all.
+	ErrMagic = errors.New("snapshot: bad magic")
+	// ErrVersion means the snapshot was written by a different format
+	// version; the caller should fall back to cold convergence.
+	ErrVersion = errors.New("snapshot: format version mismatch")
+	// ErrDigest means the bytes are corrupt or truncated.
+	ErrDigest = errors.New("snapshot: digest mismatch")
+	// ErrTopology means the snapshot was encoded against a different
+	// topology than the one offered at decode time.
+	ErrTopology = errors.New("snapshot: topology mismatch")
+)
+
+// Snapshot is the unit of persistence: one converged scenario.
+type Snapshot struct {
+	// Scenario names the scenario the snapshot belongs to.
+	Scenario string
+	// Sensors is the sensor set the mesh was measured over.
+	Sensors []topology.RouterID
+	// Net is the converged network.
+	Net *netsim.Network
+	// Mesh is the healthy (T-) full mesh among Sensors.
+	Mesh *probe.Mesh
+	// IP2AS maps hop addresses to ASes.
+	IP2AS *ip2as.Table
+}
+
+// Encode renders the snapshot into its versioned binary form.
+func Encode(s *Snapshot) ([]byte, error) {
+	var w binpack.Writer
+	w.Uint(Version)
+	w.Uint(TopoDigest(s.Net.Topology()))
+	w.String(s.Scenario)
+	w.Uint(uint64(len(s.Sensors)))
+	for _, r := range s.Sensors {
+		w.Uint(uint64(r))
+	}
+	if err := s.Net.AppendState(&w); err != nil {
+		return nil, err
+	}
+	if err := appendMesh(&w, s.Mesh); err != nil {
+		return nil, err
+	}
+	entries := s.IP2AS.Entries()
+	w.Uint(uint64(len(entries)))
+	for _, e := range entries {
+		w.Uint(uint64(e.IP))
+		w.Uint(uint64(e.Bits))
+		w.Uint(uint64(e.AS))
+	}
+
+	out := make([]byte, 0, 4+w.Len()+4)
+	out = append(out, magic[:]...)
+	out = append(out, w.Bytes()...)
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, castagnoli)), nil
+}
+
+// Decode parses an Encode stream back into a live snapshot over the given
+// topology. Options apply to the rebuilt network exactly as netsim.New
+// would (parallelism, SPF cache, telemetry, incremental reconvergence).
+// It fails with ErrMagic/ErrVersion/ErrDigest/ErrTopology on foreign,
+// future, corrupt or mismatched input.
+func Decode(data []byte, topo *topology.Topology, opts ...netsim.Option) (*Snapshot, error) {
+	if len(data) < len(magic)+4 {
+		return nil, ErrMagic
+	}
+	if !bytes.Equal(data[:len(magic)], magic[:]) {
+		return nil, ErrMagic
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, ErrDigest
+	}
+	r := binpack.NewReader(body[len(magic):])
+	if v := r.Uint(); v != Version {
+		return nil, fmt.Errorf("%w: file has v%d, reader has v%d", ErrVersion, v, Version)
+	}
+	if d := r.Uint(); d != TopoDigest(topo) {
+		return nil, ErrTopology
+	}
+	s := &Snapshot{Scenario: r.String()}
+	nsensors := r.Uint()
+	if nsensors > uint64(r.Remaining()) {
+		r.Fail(binpack.ErrTooLarge)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: decoding header: %w", err)
+	}
+	s.Sensors = make([]topology.RouterID, nsensors)
+	for i := range s.Sensors {
+		id := r.Uint()
+		if r.Err() == nil && id >= uint64(topo.NumRouters()) {
+			return nil, fmt.Errorf("snapshot: sensor router %d not in topology", id)
+		}
+		s.Sensors[i] = topology.RouterID(id)
+	}
+	net, err := netsim.DecodeNetwork(r, topo, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.Net = net
+	mesh, err := decodeMesh(r, topo, s.Sensors)
+	if err != nil {
+		return nil, err
+	}
+	s.Mesh = mesh
+	nentries := r.Uint()
+	if nentries > uint64(r.Remaining()) {
+		r.Fail(binpack.ErrTooLarge)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: decoding ip2as table: %w", err)
+	}
+	entries := make([]ip2as.Entry, nentries)
+	for i := range entries {
+		entries[i] = ip2as.Entry{IP: uint32(r.Uint()), Bits: int(r.Uint()), AS: topology.ASN(r.Uint())}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: decoding ip2as table: %w", err)
+	}
+	table, err := ip2as.FromEntries(entries)
+	if err != nil {
+		return nil, err
+	}
+	s.IP2AS = table
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after payload", r.Remaining())
+	}
+	return s, nil
+}
+
+// appendMesh encodes the T- mesh: per ordered sensor pair, the path's OK
+// flag and its hop router IDs. Addresses and hop ASes are reconstituted
+// from the topology at decode time, which requires the mesh to be the
+// simulator's ground-truth measurement (no unidentified hops — the T-
+// mesh of a healthy network never has any).
+func appendMesh(w *binpack.Writer, m *probe.Mesh) error {
+	// The total hop count leads so the decoder can size its hop arena
+	// exactly before walking the pairs.
+	total := 0
+	for i := range m.Sensors {
+		for j := range m.Sensors {
+			if i != j && m.Paths[i][j] != nil {
+				total += len(m.Paths[i][j].Hops)
+			}
+		}
+	}
+	w.Uint(uint64(total))
+	for i := range m.Sensors {
+		for j := range m.Sensors {
+			if i == j {
+				continue
+			}
+			p := m.Paths[i][j]
+			if p == nil {
+				return fmt.Errorf("snapshot: mesh pair (%d,%d) has no path", i, j)
+			}
+			w.Bool(p.OK)
+			w.Uint(uint64(len(p.Hops)))
+			for _, h := range p.Hops {
+				if h.Unidentified {
+					return fmt.Errorf("snapshot: mesh pair (%d,%d) has unidentified hop", i, j)
+				}
+				w.Uint(uint64(h.Router))
+			}
+		}
+	}
+	return nil
+}
+
+func decodeMesh(r *binpack.Reader, topo *topology.Topology, sensors []topology.RouterID) (*probe.Mesh, error) {
+	m := &probe.Mesh{
+		Sensors: sensors,
+		Paths:   make([][]*probe.Path, len(sensors)),
+	}
+	// One Path block for all ordered pairs, and one exactly-sized hop
+	// arena the paths sub-slice — the leading total makes both single
+	// allocations.
+	total := r.Uint()
+	if total > uint64(r.Remaining()) {
+		r.Fail(binpack.ErrTooLarge)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: decoding mesh: %w", err)
+	}
+	paths := make([]probe.Path, len(sensors)*len(sensors))
+	hops := make([]probe.Hop, 0, total)
+	prows := make([]*probe.Path, len(sensors)*len(sensors))
+	for i := range m.Paths {
+		m.Paths[i] = prows[i*len(sensors) : (i+1)*len(sensors)]
+	}
+	for i := range sensors {
+		for j := range sensors {
+			if i == j {
+				continue
+			}
+			p := &paths[i*len(sensors)+j]
+			*p = probe.Path{Src: sensors[i], Dst: sensors[j], OK: r.Bool()}
+			nhops := r.Uint()
+			if nhops > uint64(r.Remaining()) {
+				r.Fail(binpack.ErrTooLarge)
+			}
+			if err := r.Err(); err != nil {
+				return nil, fmt.Errorf("snapshot: decoding mesh: %w", err)
+			}
+			start := len(hops)
+			for k := uint64(0); k < nhops; k++ {
+				id := r.Uint()
+				if r.Err() != nil {
+					break
+				}
+				if id >= uint64(topo.NumRouters()) {
+					return nil, fmt.Errorf("snapshot: mesh hop router %d not in topology", id)
+				}
+				rt := topo.Router(topology.RouterID(id))
+				hops = append(hops, probe.Hop{Addr: rt.Addr, Router: rt.ID, AS: rt.AS})
+			}
+			p.Hops = hops[start:len(hops):len(hops)]
+			m.Paths[i][j] = p
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: decoding mesh: %w", err)
+	}
+	return m, nil
+}
+
+// topoDigests memoizes TopoDigest per topology value. Topologies are
+// immutable after Build, so the digest of a given pointer never changes;
+// a fleet worker decoding several scenario snapshots against one shared
+// topology pays the canonical enumeration once.
+var topoDigests sync.Map // *topology.Topology -> uint64
+
+// TopoDigest hashes a topology's canonical enumeration — ASes, routers,
+// links, costs and business relationships — into the fingerprint the
+// snapshot header carries. Two topologies digest equal exactly when every
+// structural attribute the routing layers read is identical.
+func TopoDigest(t *topology.Topology) uint64 {
+	if d, ok := topoDigests.Load(t); ok {
+		return d.(uint64)
+	}
+	d := computeTopoDigest(t)
+	topoDigests.Store(t, d)
+	return d
+}
+
+func computeTopoDigest(t *topology.Topology) uint64 {
+	var w binpack.Writer
+	w.Uint(uint64(t.NumRouters()))
+	w.Uint(uint64(t.NumLinks()))
+	asns := t.ASNumbers()
+	w.Uint(uint64(len(asns)))
+	for _, asn := range asns {
+		as := t.AS(asn)
+		w.Uint(uint64(as.Num))
+		w.Uint(uint64(as.Kind))
+		w.String(as.Name)
+		w.Uint(uint64(len(as.Routers)))
+		for _, r := range as.Routers {
+			w.Uint(uint64(r))
+		}
+	}
+	for i := 0; i < t.NumRouters(); i++ {
+		r := t.Router(topology.RouterID(i))
+		w.Uint(uint64(r.AS))
+		w.String(r.Name)
+		w.String(r.Addr)
+		w.Uint(uint64(len(r.Links)))
+		for _, l := range r.Links {
+			w.Uint(uint64(l))
+		}
+	}
+	for i := 0; i < t.NumLinks(); i++ {
+		l := t.Link(topology.LinkID(i))
+		w.Uint(uint64(l.A))
+		w.Uint(uint64(l.B))
+		w.Int(int64(l.Cost))
+		w.Uint(uint64(l.Kind))
+		if l.Kind == topology.Inter {
+			a, b := t.RouterAS(l.A), t.RouterAS(l.B)
+			w.Uint(uint64(t.Rel(a, b)))
+			w.Uint(uint64(t.Rel(b, a)))
+		}
+	}
+	h := fnv.New64a()
+	h.Write(w.Bytes())
+	return h.Sum64()
+}

@@ -1,0 +1,234 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"netdiag/internal/ip2as"
+	"netdiag/internal/netsim"
+	"netdiag/internal/probe"
+	"netdiag/internal/topology"
+)
+
+// scenarioWorld mirrors what the serving layer converges per scenario:
+// the network announcing one prefix per sensor AS, the healthy mesh, and
+// the IP-to-AS table.
+type scenarioWorld struct {
+	topo    *topology.Topology
+	sensors []topology.RouterID
+	net     *netsim.Network
+	mesh    *probe.Mesh
+	table   *ip2as.Table
+}
+
+func buildWorld(tb testing.TB, name string) *scenarioWorld {
+	tb.Helper()
+	topo, sensors := scenarioTopo(tb, name)
+	var origins []topology.ASN
+	seen := map[topology.ASN]bool{}
+	for _, s := range sensors {
+		if as := topo.RouterAS(s); !seen[as] {
+			seen[as] = true
+			origins = append(origins, as)
+		}
+	}
+	net, err := netsim.New(topo, origins)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mesh := net.Mesh(sensors)
+	table, err := ip2as.FromTopology(topo)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &scenarioWorld{topo: topo, sensors: sensors, net: net, mesh: mesh, table: table}
+}
+
+// scenarioTopo builds a scenario's topology from scratch, as a separate
+// worker process would — decode must accept a structurally identical
+// topology, not just the identical pointer.
+func scenarioTopo(tb testing.TB, name string) (*topology.Topology, []topology.RouterID) {
+	tb.Helper()
+	switch name {
+	case "fig1":
+		fig := topology.BuildFig1()
+		return fig.Topo, []topology.RouterID{fig.S1, fig.S2, fig.S3}
+	case "fig2":
+		fig := topology.BuildFig2()
+		return fig.Topo, []topology.RouterID{fig.S1, fig.S2, fig.S3}
+	}
+	tb.Fatalf("unknown scenario %q", name)
+	return nil, nil
+}
+
+func encodeWorld(tb testing.TB, name string, w *scenarioWorld) []byte {
+	tb.Helper()
+	data, err := Encode(&Snapshot{
+		Scenario: name,
+		Sensors:  w.sensors,
+		Net:      w.net,
+		Mesh:     w.mesh,
+		IP2AS:    w.table,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+func meshesEqual(tb testing.TB, a, b *probe.Mesh) {
+	tb.Helper()
+	if len(a.Sensors) != len(b.Sensors) {
+		tb.Fatalf("sensor count %d vs %d", len(a.Sensors), len(b.Sensors))
+	}
+	for i := range a.Sensors {
+		for j := range a.Sensors {
+			if i == j {
+				continue
+			}
+			pa, pb := a.Paths[i][j], b.Paths[i][j]
+			if pa.OK != pb.OK || pa.Src != pb.Src || pa.Dst != pb.Dst || len(pa.Hops) != len(pb.Hops) {
+				tb.Fatalf("pair (%d,%d): path shape differs: %+v vs %+v", i, j, pa, pb)
+			}
+			for k := range pa.Hops {
+				if pa.Hops[k] != pb.Hops[k] {
+					tb.Fatalf("pair (%d,%d) hop %d: %+v vs %+v", i, j, k, pa.Hops[k], pb.Hops[k])
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenRoundTrip pins the codec's core contract: encode a converged
+// scenario, decode it against a freshly rebuilt topology, and get back
+// IGP tables, BGP routes, mesh and ip2as mappings identical to the live
+// network's — then verify the decoded network reconverges a failure to
+// the same routing state a live fork does.
+func TestGoldenRoundTrip(t *testing.T) {
+	for _, name := range []string{"fig1", "fig2"} {
+		t.Run(name, func(t *testing.T) {
+			w := buildWorld(t, name)
+			data := encodeWorld(t, name, w)
+
+			freshTopo, _ := scenarioTopo(t, name)
+			if TopoDigest(freshTopo) != TopoDigest(w.topo) {
+				t.Fatal("rebuilt topology digests differently")
+			}
+			got, err := Decode(data, freshTopo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Scenario != name {
+				t.Errorf("Scenario = %q, want %q", got.Scenario, name)
+			}
+			if len(got.Sensors) != len(w.sensors) {
+				t.Fatalf("sensor count %d, want %d", len(got.Sensors), len(w.sensors))
+			}
+			if !got.Net.IGP().TablesEqual(w.net.IGP()) {
+				t.Error("decoded IGP tables differ from live ones")
+			}
+			if diffs := got.Net.BGP().DiffRoutes(w.net.BGP(), 5); len(diffs) > 0 {
+				t.Errorf("decoded BGP routes differ: %v", diffs)
+			}
+			meshesEqual(t, got.Mesh, w.mesh)
+			for i := 0; i < w.topo.NumRouters(); i++ {
+				addr := w.topo.Router(topology.RouterID(i)).Addr
+				wantAS, wantOK := w.table.Lookup(addr)
+				gotAS, gotOK := got.IP2AS.Lookup(addr)
+				if wantAS != gotAS || wantOK != gotOK {
+					t.Errorf("ip2as lookup %q: (%d,%v) vs (%d,%v)", addr, gotAS, gotOK, wantAS, wantOK)
+				}
+			}
+
+			// The decoded network must behave like the live one under a
+			// later failure: fail the same intra-AS link on forks of both
+			// and compare the reconverged state and measurements.
+			var link topology.LinkID = -1
+			for _, l := range w.topo.Links() {
+				if l.Kind == topology.Intra {
+					link = l.ID
+					break
+				}
+			}
+			if link < 0 {
+				t.Fatal("scenario has no intra-AS link")
+			}
+			liveFork, decFork := w.net.Fork(), got.Net.Fork()
+			liveFork.FailLink(link)
+			decFork.FailLink(link)
+			if err := liveFork.Reconverge(); err != nil {
+				t.Fatal(err)
+			}
+			if err := decFork.Reconverge(); err != nil {
+				t.Fatal(err)
+			}
+			if !decFork.IGP().TablesEqual(liveFork.IGP()) {
+				t.Error("post-failure IGP tables diverge")
+			}
+			if diffs := decFork.BGP().DiffRoutes(liveFork.BGP(), 5); len(diffs) > 0 {
+				t.Errorf("post-failure BGP routes diverge: %v", diffs)
+			}
+			meshesEqual(t, decFork.Mesh(got.Sensors), liveFork.Mesh(w.sensors))
+		})
+	}
+}
+
+// resign recomputes the trailing digest after a deliberate mutation, so
+// tests can reach the checks behind the integrity layer.
+func resign(data []byte) {
+	sum := crc32.Checksum(data[:len(data)-4], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(data[len(data)-4:], sum)
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	w := buildWorld(t, "fig1")
+	data := encodeWorld(t, "fig1", w)
+	data[0] ^= 0xff
+	resign(data)
+	if _, err := Decode(data, w.topo); !errors.Is(err, ErrMagic) {
+		t.Fatalf("err = %v, want ErrMagic", err)
+	}
+	if _, err := Decode([]byte("nd"), w.topo); !errors.Is(err, ErrMagic) {
+		t.Fatalf("tiny input: err = %v, want ErrMagic", err)
+	}
+}
+
+func TestDecodeRejectsVersionMismatch(t *testing.T) {
+	w := buildWorld(t, "fig1")
+	data := encodeWorld(t, "fig1", w)
+	// The version is the first payload varint after the 4-byte magic.
+	if data[4] != Version {
+		t.Fatalf("unexpected version byte %d", data[4])
+	}
+	data[4] = Version + 1
+	resign(data)
+	if _, err := Decode(data, w.topo); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsCorruptAndTruncated(t *testing.T) {
+	w := buildWorld(t, "fig2")
+	data := encodeWorld(t, "fig2", w)
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := Decode(flipped, w.topo); !errors.Is(err, ErrDigest) {
+		t.Fatalf("corrupt byte: err = %v, want ErrDigest", err)
+	}
+	for _, cut := range []int{0, 3, 11, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(data[:cut], w.topo); err == nil {
+			t.Errorf("truncated at %d: decode succeeded", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsTopologyMismatch(t *testing.T) {
+	w := buildWorld(t, "fig1")
+	data := encodeWorld(t, "fig1", w)
+	other, _ := scenarioTopo(t, "fig2")
+	if _, err := Decode(data, other); !errors.Is(err, ErrTopology) {
+		t.Fatalf("err = %v, want ErrTopology", err)
+	}
+}

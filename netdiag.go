@@ -16,7 +16,8 @@
 // A minimal diagnosis needs only measurements:
 //
 //	meas := &netdiag.Measurements{NumSensors: 2, Before: ..., After: ...}
-//	res, err := netdiag.NDEdge(meas)
+//	d := netdiag.New(netdiag.WithAlgorithm(netdiag.NDEdgeAlgo))
+//	res, err := d.Diagnose(ctx, meas)
 //	for _, h := range res.Hypothesis { fmt.Println(h.Link) }
 //
 // See examples/ for end-to-end scenarios driven through the simulator, and
@@ -94,12 +95,18 @@ type (
 
 // Tomo runs the multi-AS Boolean tomography baseline (paper §2). It is a
 // thin wrapper over New(WithAlgorithm(TomoAlgo)).
+//
+// Deprecated: use New(WithAlgorithm(TomoAlgo)).Diagnose — the session
+// API takes a context, reuses its configuration across calls and is what
+// every option (parallelism, telemetry, routing info) attaches to.
 func Tomo(m *Measurements) (*Result, error) {
 	return New(WithAlgorithm(TomoAlgo)).Diagnose(context.Background(), m)
 }
 
 // NDEdge runs NetDiagnoser with logical links and reroute information
 // (paper §3.1–3.2). It is a thin wrapper over New(WithAlgorithm(NDEdgeAlgo)).
+//
+// Deprecated: use New(WithAlgorithm(NDEdgeAlgo)).Diagnose — see Tomo.
 func NDEdge(m *Measurements) (*Result, error) {
 	return New(WithAlgorithm(NDEdgeAlgo)).Diagnose(context.Background(), m)
 }
@@ -107,6 +114,9 @@ func NDEdge(m *Measurements) (*Result, error) {
 // NDBgpIgp runs ND-edge augmented with IGP link-down events and BGP
 // withdrawals from the troubleshooter's AS (paper §3.3). It is a thin
 // wrapper over New(WithAlgorithm(NDBgpIgpAlgo), WithRoutingInfo(ri)).
+//
+// Deprecated: use New(WithAlgorithm(NDBgpIgpAlgo), WithRoutingInfo(ri)).
+// Diagnose — see Tomo.
 func NDBgpIgp(m *Measurements, ri *RoutingInfo) (*Result, error) {
 	return New(WithAlgorithm(NDBgpIgpAlgo), WithRoutingInfo(ri)).Diagnose(context.Background(), m)
 }
@@ -114,12 +124,18 @@ func NDBgpIgp(m *Measurements, ri *RoutingInfo) (*Result, error) {
 // NDLG runs the full NetDiagnoser with Looking-Glass support for
 // traceroute-blocking ASes (paper §3.4). It is a thin wrapper over
 // New(WithAlgorithm(NDLGAlgo), WithRoutingInfo(ri), WithLookingGlass(lg)).
+//
+// Deprecated: use New(WithAlgorithm(NDLGAlgo), WithRoutingInfo(ri),
+// WithLookingGlass(lg)).Diagnose — see Tomo.
 func NDLG(m *Measurements, ri *RoutingInfo, lg LookingGlass) (*Result, error) {
 	return New(WithAlgorithm(NDLGAlgo), WithRoutingInfo(ri), WithLookingGlass(lg)).
 		Diagnose(context.Background(), m)
 }
 
 // Run executes a custom configuration of the diagnosis engine.
+//
+// Deprecated: use New with the matching options and Diagnose; Options is
+// the engine-internal form that the Diagnoser options assemble for you.
 func Run(m *Measurements, opts Options) (*Result, error) { return core.Run(m, opts) }
 
 // SCFS runs Duffield's single-source tree baseline (paper §2.1).
