@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint bench benchdiff smoke verify
+.PHONY: build test vet race lint bench benchdiff smoke allocguard verify
 
 build:
 	$(GO) build ./...
@@ -52,7 +52,13 @@ benchdiff:
 smoke:
 	$(GO) test -run TestSmoke -count=1 ./cmd/ndserve
 
+# Zero-allocation guard for the uninstrumented telemetry path: the
+# disabled-handle hot-loop benchmarks (including the trace-plumbed
+# variant) must report exactly 0 allocs/op.
+allocguard:
+	$(GO) test -run xxx -bench 'BenchmarkHotLoopDisabled' -benchtime 100x ./internal/telemetry/ | $(GO) run ./cmd/benchjson -allocguard '^BenchmarkHotLoopDisabled'
+
 # The full verify loop: tier-1 (build + test) plus vet, the project
-# linter, the race detector and the service smoke test. Run before every
-# commit.
-verify: build vet lint test race smoke
+# linter, the race detector, the service smoke test and the telemetry
+# alloc guard. Run before every commit.
+verify: build vet lint test race smoke allocguard

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const allocSample = `goos: linux
+pkg: netdiag/internal/telemetry
+BenchmarkHotLoopDisabled       	  500000	      2100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotLoopDisabledTraced 	  400000	      2500 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotLoopEnabled        	  100000	     12000 ns/op	      64 B/op	       2 allocs/op
+BenchmarkSnapshot              	   10000	     90000 ns/op
+ok  	netdiag/internal/telemetry	1.013s
+`
+
+func guard(t *testing.T, pattern string) (int, string) {
+	t.Helper()
+	rep, err := parse(bufio.NewScanner(strings.NewReader(allocSample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	n, err := runAllocGuard(rep, pattern, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, b.String()
+}
+
+func TestAllocGuardPasses(t *testing.T) {
+	n, out := guard(t, `^BenchmarkHotLoopDisabled(Traced)?$`)
+	if n != 0 {
+		t.Fatalf("guard reported %d violations on a clean run:\n%s", n, out)
+	}
+	if !strings.Contains(out, "BenchmarkHotLoopDisabledTraced ok") {
+		t.Errorf("guard output missing per-benchmark verdict:\n%s", out)
+	}
+}
+
+func TestAllocGuardCatchesAllocations(t *testing.T) {
+	n, out := guard(t, `^BenchmarkHotLoop`)
+	if n != 1 || !strings.Contains(out, "BenchmarkHotLoopEnabled allocates 2 allocs/op") {
+		t.Fatalf("violations = %d, out:\n%s", n, out)
+	}
+}
+
+func TestAllocGuardRequiresReportAllocs(t *testing.T) {
+	n, out := guard(t, `^BenchmarkSnapshot$`)
+	if n != 1 || !strings.Contains(out, "reports no allocs/op") {
+		t.Fatalf("violations = %d, out:\n%s", n, out)
+	}
+}
+
+func TestAllocGuardRequiresAMatch(t *testing.T) {
+	n, out := guard(t, `^BenchmarkNoSuchThing$`)
+	if n != 1 || !strings.Contains(out, "guarding nothing") {
+		t.Fatalf("violations = %d, out:\n%s", n, out)
+	}
+}
+
+func TestAllocGuardBadPattern(t *testing.T) {
+	rep := &Report{}
+	if _, err := runAllocGuard(rep, `(`, &strings.Builder{}); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+}

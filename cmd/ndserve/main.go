@@ -13,6 +13,13 @@
 //	GET  /v1/scenarios       registered scenarios and their warm state
 //	GET  /healthz            liveness
 //	GET  /readyz             readiness (200 once every scenario is warm)
+//	GET  /metrics            Prometheus text exposition of the telemetry registry
+//	GET  /debug/traces       recent completed request traces as JSON
+//
+// Every v1 request is traced: the ND-Trace-Id header is honored when the
+// client sends one (and minted otherwise), echoed on every response, and
+// followed by the front to the owning shard. -slow-ms promotes slow
+// requests to a per-phase access-log breakdown.
 //
 // With -watch, ndserve also runs the continuous monitoring loop of the
 // paper's deployment model (§6): the watched scenario is measured every
@@ -65,6 +72,8 @@ func main() {
 		shards       = flag.String("shards", "", "run as the fleet front: comma-separated worker base URLs, index = shard id (disables local diagnosis)")
 		shardOf      = flag.String("shard-of", "", "run as fleet worker i of N (\"i/N\"): register only the scenarios shard i owns")
 		snapshotDir  = flag.String("snapshot-dir", "", "persist converged scenarios here and recover them at warm-up")
+		slowMS       = flag.Int("slow-ms", 0, "promote requests at least this slow (milliseconds) to a per-phase access-log breakdown (0 disables)")
+		traceBuffer  = flag.Int("trace-buffer", 0, "completed request traces retained for /debug/traces (0 = 64)")
 	)
 	flag.Parse()
 
@@ -73,7 +82,8 @@ func main() {
 		if *shardOf != "" {
 			fatal(fmt.Errorf("-shards and -shard-of are mutually exclusive: the front runs no diagnoses"))
 		}
-		if err := runFront(*addr, *shards, *drainTimeout, logger); err != nil {
+		if err := runFront(*addr, *shards, *drainTimeout, logger,
+			time.Duration(*slowMS)*time.Millisecond, *traceBuffer); err != nil {
 			fatal(err)
 		}
 		logger.Info("front drained cleanly, exiting")
@@ -98,6 +108,8 @@ func main() {
 		SnapshotDir:    *snapshotDir,
 		Telemetry:      tele,
 		Logger:         logger,
+		SlowThreshold:  time.Duration(*slowMS) * time.Millisecond,
+		TraceBuffer:    *traceBuffer,
 	})
 
 	if *debugAddr != "" {
@@ -195,7 +207,8 @@ func parseShardOf(s string) (idx, n int, err error) {
 // runFront serves the fleet routing tier until SIGINT/SIGTERM, then
 // shuts down gracefully within drainTimeout. The front holds no state,
 // so its drain is just the HTTP server's.
-func runFront(addr, shards string, drainTimeout time.Duration, logger *slog.Logger) error {
+func runFront(addr, shards string, drainTimeout time.Duration, logger *slog.Logger,
+	slowThreshold time.Duration, traceBuffer int) error {
 	var backends []string
 	for _, b := range strings.Split(shards, ",") {
 		b = strings.TrimSpace(b)
@@ -211,10 +224,12 @@ func runFront(addr, shards string, drainTimeout time.Duration, logger *slog.Logg
 		return fmt.Errorf("-shards listed no backends")
 	}
 	front := server.NewFront(server.FrontConfig{
-		Backends:  backends,
-		Client:    &http.Client{Timeout: 30 * time.Second},
-		Telemetry: telemetry.New(),
-		Logger:    logger,
+		Backends:      backends,
+		Client:        &http.Client{Timeout: 30 * time.Second},
+		Telemetry:     telemetry.New(),
+		Logger:        logger,
+		SlowThreshold: slowThreshold,
+		TraceBuffer:   traceBuffer,
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -62,6 +62,14 @@ func (w *WireResult) Encode(out io.Writer) error {
 	return enc.Encode(w)
 }
 
+// TraceHeader is the request/response header carrying the fleet-wide
+// request trace ID. The edge (front, or a worker hit directly) assigns an
+// ID when the client did not send a valid one, forwards it to the owning
+// shard, and echoes it on every response — including error envelopes. The
+// ID travels in headers only: response bodies are byte-identical with
+// tracing on or off.
+const TraceHeader = "ND-Trace-Id"
+
 // Stable machine-readable codes for WireError.Code. Every error the v1
 // HTTP surface emits carries exactly one of these.
 const (
@@ -77,8 +85,8 @@ const (
 
 // WireError is the stable JSON error form of the v1 HTTP surface. Every
 // error response is the envelope {"error": WireError}; retryable statuses
-// (429, 503) also carry RetryAfterS, mirroring the Retry-After header for
-// clients that only look at bodies.
+// (429, 502, 503) also carry RetryAfterS, mirroring the Retry-After header
+// for clients that only look at bodies.
 type WireError struct {
 	Code        string `json:"code"`
 	Message     string `json:"message"`

@@ -13,6 +13,7 @@ func All() []*Analyzer {
 		GlobalRand,
 		MapOrder,
 		NilHandle,
+		TraceCarry,
 		WallClock,
 	}
 }

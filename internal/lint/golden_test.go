@@ -75,6 +75,7 @@ func TestGolden(t *testing.T) {
 		{"globalrand", GlobalRand},
 		{"maporder", MapOrder},
 		{"nilhandle", NilHandle},
+		{"tracecarry", TraceCarry},
 		{"wallclock", WallClock},
 	}
 	for _, tc := range cases {

@@ -16,6 +16,9 @@
 //     no-op hot path)
 //   - globalrand — library code derives randomness from scenario seeds,
 //     never from math/rand's global source
+//   - tracecarry — server functions that enqueue work via the admission
+//     queue carry the request trace across the goroutine hop (the
+//     fleet-wide request tracing contract)
 //
 // Diagnostics are deterministic: sorted by file, line, column, analyzer
 // and message, deduplicated across the test/non-test variants of a

@@ -1,0 +1,65 @@
+// Package server is golden-test input for the tracecarry analyzer. The
+// analyzer gates on the package *name* server and matches the trace
+// plumbing by function name, so this fixture models the real admission
+// seam — TrySubmit, a coalescing submit argument, the trace context
+// helpers — without importing the service packages.
+package server
+
+import "context"
+
+// Trace stands in for the telemetry request trace.
+type Trace struct{}
+
+// ContextWithTrace mirrors telemetry.ContextWithTrace.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context { return ctx }
+
+// TraceFromContext mirrors telemetry.TraceFromContext.
+func TraceFromContext(ctx context.Context) *Trace { return nil }
+
+// queue mirrors pool.Queue.
+type queue struct{}
+
+// TrySubmit mirrors the admission seam the analyzer keys on.
+func (q *queue) TrySubmit(fn func()) bool { fn(); return true }
+
+// do mirrors flightGroup.do: the enqueue happens through the submit
+// argument the handler passes in.
+func do(submit func(func()) bool, compute func()) { submit(compute) }
+
+type handlers struct{ q *queue }
+
+// goodAttach enqueues and attaches the trace to the job context: legal.
+func (h *handlers) goodAttach(ctx context.Context, tr *Trace) {
+	h.q.TrySubmit(func() {
+		_ = ContextWithTrace(ctx, tr)
+	})
+}
+
+// goodInherit enqueues and picks the inherited trace up inside the job:
+// legal.
+func (h *handlers) goodInherit(ctx context.Context) {
+	do(h.q.TrySubmit, func() {
+		_ = TraceFromContext(ctx)
+	})
+}
+
+// badDirect enqueues a closure that runs without the request trace.
+func (h *handlers) badDirect(ctx context.Context) {
+	h.q.TrySubmit(func() { // want tracecarry "badDirect enqueues work via TrySubmit without carrying the request trace"
+		_ = ctx.Err()
+	})
+}
+
+// badViaSubmitArg drops the trace even though TrySubmit is only passed
+// along as the coalescing group's submit argument, never called here.
+func (h *handlers) badViaSubmitArg(ctx context.Context) {
+	do(h.q.TrySubmit, func() { // want tracecarry "badViaSubmitArg enqueues work via TrySubmit without carrying the request trace"
+		_ = ctx.Err()
+	})
+}
+
+// noEnqueue never touches the queue, so it owes no trace plumbing.
+func (h *handlers) noEnqueue(ctx context.Context) {
+	_ = ContextWithTrace
+	_ = ctx.Err()
+}

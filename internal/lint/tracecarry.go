@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TraceCarry encodes the request-tracing contract of the serving layer:
+// a server-package function that hands work to the admission queue
+// (referencing pool.Queue.TrySubmit, directly or as the submit argument
+// of the coalescing group) moves the rest of the request onto a worker
+// goroutine — and the request's trace must move with it. Such a function
+// must therefore carry the trace across the hop by calling
+// telemetry.ContextWithTrace (attaching the trace to the job context) or
+// telemetry.TraceFromContext (picking an inherited one up) somewhere in
+// its body, including the enqueued closures. A handler that enqueues
+// without either call silently drops the trace: the job's spans land
+// nowhere and /debug/traces shows an empty request.
+//
+// The check is scoped to packages named "server" — the only place the
+// admission queue meets request handling — and matches the plumbing
+// functions by name, so the fixture can model the contract without
+// importing the real telemetry package.
+var TraceCarry = &Analyzer{
+	Name: "tracecarry",
+	Doc:  "server functions that enqueue work via TrySubmit must carry the request trace (ContextWithTrace/TraceFromContext)",
+	Run:  runTraceCarry,
+}
+
+func runTraceCarry(p *Pass) {
+	if p.Pkg.Name() != "server" {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || p.InTestFile(fd.Pos()) {
+				continue
+			}
+			enqueues := token.NoPos
+			carries := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := p.Info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				switch fn.Name() {
+				case "TrySubmit":
+					if enqueues == token.NoPos {
+						enqueues = id.Pos()
+					}
+				case "ContextWithTrace", "TraceFromContext":
+					carries = true
+				}
+				return true
+			})
+			if enqueues != token.NoPos && !carries {
+				p.Reportf(enqueues,
+					"%s enqueues work via TrySubmit without carrying the request trace; attach it with telemetry.ContextWithTrace (or pick it up with TraceFromContext) so the job's spans reach the trace",
+					fd.Name.Name)
+			}
+		}
+	}
+}

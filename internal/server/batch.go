@@ -56,10 +56,6 @@ type BatchSlot struct {
 }
 
 func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
-	start := telemetry.Now()
-	s.requests.Inc()
-	defer func() { s.latency.Observe(telemetry.Since(start).Nanoseconds()) }()
-
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, core.ErrDraining, "draining")
 		return
@@ -94,6 +90,9 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 		timeout = t
 	}
 
+	acc := accessFrom(r.Context())
+	acc.scenario, acc.algo = req.Scenario, algo.Slug()
+
 	// The flight key is the ordered item identity: two batches asking the
 	// same items in the same order coalesce into one computation.
 	keys := make([]string, len(req.Items))
@@ -101,7 +100,12 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 		keys[i] = canonicalKey(req.Scenario, algo, it.FailLinks, it.FailRouters)
 	}
 	key := "batch|" + strings.Join(keys, "||")
-	f, ok := s.flights.do(key, s.queue.TrySubmit, func() ([]byte, error) {
+	tr := acc.tr
+	submitted := telemetry.Now()
+	endWait := tr.StartSpan("admission_wait")
+	f, leader, ok := s.flights.do(key, acc.id, s.queue.TrySubmit, func() ([]byte, error) {
+		endWait()
+		acc.queueWait.Store(telemetry.Since(submitted).Nanoseconds())
 		if s.draining.Load() {
 			return nil, errDraining
 		}
@@ -110,16 +114,23 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := context.WithTimeout(s.lifeCtx, timeout)
 		defer cancel()
-		return s.computeBatch(ctx, &req, algo)
+		return s.computeBatch(telemetry.ContextWithTrace(ctx, tr), &req, algo)
 	})
 	if !ok {
 		s.shed.Inc()
 		writeError(w, http.StatusTooManyRequests, core.ErrQueueFull, "diagnosis queue full")
 		return
 	}
+	acc.coalesced, acc.leaderTrace = !leader, f.leaderTrace
+	endAttach := noSpan
+	if !leader {
+		endAttach = tr.StartSpan("coalesce_wait")
+	}
 	select {
 	case <-f.done:
+		endAttach()
 	case <-r.Context().Done():
+		endAttach()
 		writeError(w, http.StatusGatewayTimeout, core.ErrTimeout, "request context ended while waiting for diagnosis")
 		return
 	}
@@ -156,11 +167,13 @@ func (s *Server) computeBatch(ctx context.Context, req *BatchRequest, algo netdi
 	}
 	buf.Write(name)
 	buf.WriteString(`,"results":[`)
+	tr := telemetry.TraceFromContext(ctx)
 	for i := range req.Items {
 		if i > 0 {
 			buf.WriteByte(',')
 		}
 		item := &req.Items[i]
+		endItem := tr.StartIteration("item", i+1)
 		body, err := func() ([]byte, error) {
 			if err := applyFaults(snap, fork, item.FailLinks, item.FailRouters); err != nil {
 				return nil, err
@@ -168,6 +181,7 @@ func (s *Server) computeBatch(ctx context.Context, req *BatchRequest, algo netdi
 			return s.diagnoseFork(ctx, snap, fork, algo)
 		}()
 		fork.Restore(cp)
+		endItem()
 		status := http.StatusOK
 		if err != nil {
 			var code string

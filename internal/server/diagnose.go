@@ -15,6 +15,7 @@ import (
 	"netdiag/internal/lookingglass"
 	"netdiag/internal/monitor"
 	"netdiag/internal/netsim"
+	"netdiag/internal/telemetry"
 )
 
 // DiagnoseRequest is the POST /v1/diagnose body: a registered scenario, a
@@ -86,8 +87,11 @@ func (s *Server) compute(ctx context.Context, req *DiagnoseRequest, algo netdiag
 	if err != nil {
 		return nil, err
 	}
+	endFork := telemetry.TraceFromContext(ctx).StartSpan("fork")
 	fork := snap.Net.Fork()
-	if err := applyFaults(snap, fork, req.FailLinks, req.FailRouters); err != nil {
+	err = applyFaults(snap, fork, req.FailLinks, req.FailRouters)
+	endFork()
+	if err != nil {
 		return nil, err
 	}
 	return s.diagnoseFork(ctx, snap, fork, algo)
@@ -127,10 +131,16 @@ func applyFaults(snap *Snapshot, fork *netsim.Network, links [][2]string, router
 // batch endpoints share this path, which is what makes a batch slot
 // byte-identical to the equivalent standalone response.
 func (s *Server) diagnoseFork(ctx context.Context, snap *Snapshot, fork *netsim.Network, algo netdiag.Algorithm) ([]byte, error) {
-	if err := fork.ReconvergeCtx(ctx); err != nil {
+	tr := telemetry.TraceFromContext(ctx)
+	endSpan := tr.StartSpan("reconverge")
+	err := fork.ReconvergeCtx(ctx)
+	endSpan()
+	if err != nil {
 		return nil, err
 	}
+	endSpan = tr.StartSpan("mesh")
 	after, err := fork.MeshCtx(ctx, snap.Scenario.Sensors)
+	endSpan()
 	if err != nil {
 		return nil, err
 	}
@@ -155,10 +165,14 @@ func (s *Server) diagnoseFork(ctx context.Context, snap *Snapshot, fork *netsim.
 		opts = append(opts,
 			netdiag.WithLookingGlass(lookingglass.New(fork.BGP(), snap.BeforeBGP, nil, asx, snap.Prefixes)))
 	}
+	endSpan = tr.StartSpan("diagnose")
 	res, err := netdiag.New(opts...).Diagnose(ctx, meas)
+	endSpan()
 	if err != nil {
 		return nil, err
 	}
+	endSpan = tr.StartSpan("encode")
+	defer endSpan()
 	return encodeWire(res, algo)
 }
 
@@ -206,8 +220,14 @@ func (s *Server) DiagnoseAlarm(ctx context.Context, scenarioName string, algo ne
 	if s.draining.Load() {
 		return nil, errDraining
 	}
+	// Alarms trace like HTTP requests: reuse a trace already on ctx (so a
+	// caller can correlate), otherwise mint one for this diagnosis.
+	tr := telemetry.TraceFromContext(ctx)
+	if tr.ID() == "" {
+		tr = telemetry.NewRequestTrace(telemetry.NewTraceID())
+	}
 	key := fmt.Sprintf("alarm|%s|%s|round%d", scenarioName, algo.Slug(), a.Round)
-	f, ok := s.flights.do(key, s.queue.TrySubmit, func() ([]byte, error) {
+	f, _, ok := s.flights.do(key, tr.ID(), s.queue.TrySubmit, func() ([]byte, error) {
 		if s.draining.Load() {
 			return nil, errDraining
 		}
@@ -216,7 +236,7 @@ func (s *Server) DiagnoseAlarm(ctx context.Context, scenarioName string, algo ne
 		}
 		cctx, cancel := context.WithTimeout(s.lifeCtx, s.requestTimeout)
 		defer cancel()
-		return s.computeAlarm(cctx, scenarioName, algo, a)
+		return s.computeAlarm(telemetry.ContextWithTrace(cctx, tr), scenarioName, algo, a)
 	})
 	if !ok {
 		s.shed.Inc()

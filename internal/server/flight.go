@@ -13,6 +13,10 @@ type flight struct {
 	done chan struct{}
 	body []byte
 	err  error
+	// leaderTrace is the trace ID of the request that submitted the
+	// computation; coalesced followers log it so one slow computation's
+	// access lines stitch together across its waiters.
+	leaderTrace string
 }
 
 // flightGroup coalesces identical in-flight requests (singleflight): the
@@ -40,17 +44,19 @@ func newFlightGroup(tele *telemetry.Registry) *flightGroup {
 // do returns the flight for key, creating and submitting it when none is
 // in flight. The submit func must be non-blocking (pool.Queue.TrySubmit);
 // it is invoked under the group lock so that a shed admission leaves no
-// window for followers to attach to a flight that will never run. ok is
-// false only when this caller would have been the leader and admission
-// was refused — the caller sheds the request.
-func (g *flightGroup) do(key string, submit func(func()) bool, compute func() ([]byte, error)) (f *flight, ok bool) {
+// window for followers to attach to a flight that will never run.
+// traceID is the calling request's trace ID, retained on the flight when
+// this caller becomes the leader. leader reports which role the caller
+// got; ok is false only when this caller would have been the leader and
+// admission was refused — the caller sheds the request.
+func (g *flightGroup) do(key, traceID string, submit func(func()) bool, compute func() ([]byte, error)) (f *flight, leader, ok bool) {
 	g.mu.Lock()
 	if f := g.m[key]; f != nil {
 		g.mu.Unlock()
 		g.hits.Inc()
-		return f, true
+		return f, false, true
 	}
-	f = &flight{done: make(chan struct{})}
+	f = &flight{done: make(chan struct{}), leaderTrace: traceID}
 	run := func() {
 		f.body, f.err = compute()
 		g.mu.Lock()
@@ -60,10 +66,10 @@ func (g *flightGroup) do(key string, submit func(func()) bool, compute func() ([
 	}
 	if !submit(run) {
 		g.mu.Unlock()
-		return nil, false
+		return nil, false, false
 	}
 	g.m[key] = f
 	g.misses.Inc()
 	g.mu.Unlock()
-	return f, true
+	return f, true, true
 }

@@ -59,6 +59,13 @@ type Config struct {
 	// Logger receives structured request/lifecycle records; nil logs
 	// nothing.
 	Logger *slog.Logger
+	// SlowThreshold promotes requests at least this slow to an extra
+	// access-log line carrying the per-phase span breakdown. Zero
+	// disables promotion.
+	SlowThreshold time.Duration
+	// TraceBuffer sizes the /debug/traces ring of completed request
+	// traces. Zero selects 64.
+	TraceBuffer int
 }
 
 // Server is the long-running diagnosis service behind ndserve. It owns
@@ -75,6 +82,8 @@ type Server struct {
 	drainTimeout   time.Duration
 	tele           *telemetry.Registry
 	log            *slog.Logger
+	traces         *telemetry.TraceRing
+	slowNs         int64
 	mux            *http.ServeMux
 
 	// lifeCtx scopes every computation to the server's lifetime, so an
@@ -122,6 +131,8 @@ func New(cfg Config) *Server {
 		drainTimeout:   cfg.DrainTimeout,
 		tele:           cfg.Telemetry,
 		log:            cfg.Logger,
+		traces:         telemetry.NewTraceRing(cfg.TraceBuffer),
+		slowNs:         cfg.SlowThreshold.Nanoseconds(),
 		requests:       cfg.Telemetry.Counter("server.requests_total"),
 		shed:           cfg.Telemetry.Counter("server.requests_shed"),
 		latency:        cfg.Telemetry.Histogram("server.request_ns", telemetry.DurationBuckets),
@@ -133,9 +144,11 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
-	mux.HandleFunc("POST /v1/diagnose/batch", s.handleDiagnoseBatch)
+	mux.Handle("GET /v1/scenarios", s.observe("scenarios", false, s.handleScenarios))
+	mux.Handle("POST /v1/diagnose", s.observe("diagnose", true, s.handleDiagnose))
+	mux.Handle("POST /v1/diagnose/batch", s.observe("batch", true, s.handleDiagnoseBatch))
+	mux.Handle("GET /metrics", telemetry.PromHandler(cfg.Telemetry))
+	mux.Handle("GET /debug/traces", s.traces)
 	s.mux = mux
 	return s
 }
@@ -273,10 +286,6 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
-	start := telemetry.Now()
-	s.requests.Inc()
-	defer func() { s.latency.Observe(telemetry.Since(start).Nanoseconds()) }()
-
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, core.ErrDraining, "draining")
 		return
@@ -301,9 +310,16 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	if t := time.Duration(req.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
 		timeout = t
 	}
+	acc := accessFrom(r.Context())
+	acc.scenario, acc.algo = req.Scenario, algo.Slug()
 
 	key := canonicalKey(req.Scenario, algo, req.FailLinks, req.FailRouters)
-	f, ok := s.flights.do(key, s.queue.TrySubmit, func() ([]byte, error) {
+	tr := acc.tr
+	submitted := telemetry.Now()
+	endWait := tr.StartSpan("admission_wait")
+	f, leader, ok := s.flights.do(key, acc.id, s.queue.TrySubmit, func() ([]byte, error) {
+		endWait()
+		acc.queueWait.Store(telemetry.Since(submitted).Nanoseconds())
 		// A job that reaches a worker only after the drain began is
 		// "queued work" in the shutdown contract: reject it. The hook
 		// below stands in for a long computation in tests.
@@ -316,19 +332,27 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		// The computation runs under the server's lifetime context plus
 		// the (leader's) timeout, never an individual request context:
 		// coalesced followers must not lose the result because the leader
-		// disconnected.
+		// disconnected. The leader's trace rides along so pipeline spans
+		// land on it.
 		ctx, cancel := context.WithTimeout(s.lifeCtx, timeout)
 		defer cancel()
-		return s.compute(ctx, &req, algo)
+		return s.compute(telemetry.ContextWithTrace(ctx, tr), &req, algo)
 	})
 	if !ok {
 		s.shed.Inc()
 		writeError(w, http.StatusTooManyRequests, core.ErrQueueFull, "diagnosis queue full")
 		return
 	}
+	acc.coalesced, acc.leaderTrace = !leader, f.leaderTrace
+	endAttach := noSpan
+	if !leader {
+		endAttach = tr.StartSpan("coalesce_wait")
+	}
 	select {
 	case <-f.done:
+		endAttach()
 	case <-r.Context().Done():
+		endAttach()
 		writeError(w, http.StatusGatewayTimeout, core.ErrTimeout, "request context ended while waiting for diagnosis")
 		return
 	}
@@ -365,18 +389,24 @@ func statusFor(err error) (int, string) {
 	}
 }
 
+// noSpan is the no-op span end for paths that conditionally open one.
+var noSpan = func() {}
+
 // errorEnvelope builds the WireError a status/code/message triple puts on
-// the wire. Retryable statuses carry retry_after_s so the body alone tells
-// a client what the Retry-After header would.
+// the wire. Retryable statuses — shed (429), draining (503) and a shard
+// the front could not reach (502, typically a restarting worker) — carry
+// retry_after_s so the body alone tells a client what the Retry-After
+// header would.
 func errorEnvelope(status int, code, msg string) *core.WireError {
 	we := &core.WireError{Code: code, Message: msg}
-	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway:
 		we.RetryAfterS = 1
 	}
 	return we
 }
 
-// writeError emits the v1 error envelope. 429 and 503 both get a
+// writeError emits the v1 error envelope. The retryable statuses get a
 // Retry-After header matching the envelope's retry_after_s.
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	we := errorEnvelope(status, code, msg)

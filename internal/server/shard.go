@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 
 	"netdiag/internal/core"
 	"netdiag/internal/telemetry"
@@ -52,6 +53,12 @@ type FrontConfig struct {
 	Telemetry *telemetry.Registry
 	// Logger receives proxy failure records; nil logs nothing.
 	Logger *slog.Logger
+	// SlowThreshold promotes requests at least this slow to an extra
+	// access-log line with the per-phase span breakdown. Zero disables
+	// promotion.
+	SlowThreshold time.Duration
+	// TraceBuffer sizes the /debug/traces ring. Zero selects 64.
+	TraceBuffer int
 }
 
 // Front is the fleet's routing tier: a thin, stateless proxy that owns no
@@ -63,6 +70,9 @@ type Front struct {
 	backends []string
 	client   *http.Client
 	log      *slog.Logger
+	tele     *telemetry.Registry
+	traces   *telemetry.TraceRing
+	slowNs   int64
 	mux      *http.ServeMux
 
 	proxied     *telemetry.Counter
@@ -84,17 +94,60 @@ func NewFront(cfg FrontConfig) *Front {
 		backends:    cfg.Backends,
 		client:      client,
 		log:         cfg.Logger,
+		tele:        cfg.Telemetry,
+		traces:      telemetry.NewTraceRing(cfg.TraceBuffer),
+		slowNs:      cfg.SlowThreshold.Nanoseconds(),
 		proxied:     cfg.Telemetry.Counter("front.proxied"),
 		backendErrs: cfg.Telemetry.Counter("front.backend_errors"),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", f.handleHealthz)
 	mux.HandleFunc("GET /readyz", f.handleReadyz)
-	mux.HandleFunc("GET /v1/scenarios", f.handleScenarios)
-	mux.HandleFunc("POST /v1/diagnose", f.handleProxy)
-	mux.HandleFunc("POST /v1/diagnose/batch", f.handleProxy)
+	mux.Handle("GET /v1/scenarios", f.observe("scenarios", f.handleScenarios))
+	mux.Handle("POST /v1/diagnose", f.observe("proxy", f.handleProxy))
+	mux.Handle("POST /v1/diagnose/batch", f.observe("proxy", f.handleProxy))
+	mux.HandleFunc("GET /metrics", f.handleMetrics)
+	mux.Handle("GET /debug/traces", f.traces)
 	f.mux = mux
 	return f
+}
+
+// observe is the front's per-request observability envelope: the same
+// trace-ID assignment, header echo, access log and trace-ring retention
+// the workers apply (see access.go), minus the worker-only queue
+// metrics. The front is an edge too — requests hitting it directly get
+// their ID here, and it follows them to the owning shard.
+func (f *Front) observe(op string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := telemetry.Now()
+		acc := &access{op: op, id: requestTraceID(r)}
+		acc.tr = telemetry.NewRequestTrace(acc.id)
+		w.Header().Set(core.TraceHeader, acc.id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(contextWithAccess(r.Context(), acc)))
+		finishAccess(f.log, f.traces, f.slowNs, acc, sw.status, telemetry.Since(start).Nanoseconds())
+	})
+}
+
+// handleMetrics serves the front's Prometheus exposition. Before
+// rendering, it probes every shard's /healthz and re-exports the result
+// as per-shard gauges — front.shard<i>_up (1/0) and
+// front.shard<i>_probe_ns (exposed in seconds) — so one scrape of the
+// front tells which shards are reachable and how fast they answer.
+func (f *Front) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if f.tele != nil {
+		for i, base := range f.backends {
+			t0 := telemetry.Now()
+			status, _, err := f.get(r, base, "/healthz")
+			up := int64(0)
+			if err == nil && status == http.StatusOK {
+				up = 1
+			}
+			f.tele.Gauge(fmt.Sprintf("front.shard%d_up", i)).Set(up)
+			f.tele.Gauge(fmt.Sprintf("front.shard%d_probe_ns", i)).Set(telemetry.Since(t0).Nanoseconds())
+		}
+	}
+	telemetry.PromHandler(f.tele).ServeHTTP(w, r)
 }
 
 // Handler returns the front's HTTP API — the same v1 surface a single
@@ -134,16 +187,16 @@ func (f *Front) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	for i, base := range f.backends {
 		status, body, err := f.get(r, base, "/v1/scenarios")
 		if err != nil {
-			f.backendError(w, i, err)
+			f.backendError(w, r, i, err)
 			return
 		}
 		if status != http.StatusOK {
-			f.backendError(w, i, fmt.Errorf("scenario listing answered %d", status))
+			f.backendError(w, r, i, fmt.Errorf("scenario listing answered %d", status))
 			return
 		}
 		var part []ScenarioInfo
 		if err := json.Unmarshal(body, &part); err != nil {
-			f.backendError(w, i, fmt.Errorf("bad scenario listing: %w", err))
+			f.backendError(w, r, i, fmt.Errorf("bad scenario listing: %w", err))
 			return
 		}
 		infos = append(infos, part...)
@@ -165,6 +218,7 @@ func (f *Front) handleScenarios(w http.ResponseWriter, r *http.Request) {
 // backoff contract is the same with or without the routing tier.
 func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 	f.proxied.Inc()
+	acc := accessFrom(r.Context())
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, core.ErrBadRequest, "reading request body: "+err.Error())
@@ -177,7 +231,9 @@ func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, core.ErrBadRequest, "invalid request body: "+err.Error())
 		return
 	}
+	acc.scenario = sniff.Scenario
 	shard := ShardIndex(sniff.Scenario, len(f.backends))
+	acc.shard = f.backends[shard]
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
 		f.backends[shard]+r.URL.Path, bytes.NewReader(body))
 	if err != nil {
@@ -185,9 +241,14 @@ func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The same trace ID follows the request to the owning shard, so the
+	// front's and the worker's spans stitch into one trace.
+	req.Header.Set(core.TraceHeader, acc.id)
+	endBackend := acc.tr.StartSpan("proxy_backend")
 	resp, err := f.client.Do(req)
+	endBackend()
 	if err != nil {
-		f.backendError(w, shard, err)
+		f.backendError(w, r, shard, err)
 		return
 	}
 	defer resp.Body.Close()
@@ -223,12 +284,18 @@ func (f *Front) get(r *http.Request, base, path string) (int, []byte, error) {
 }
 
 // backendError reports a shard the front could not use: 502 with the
-// bad_gateway envelope naming the shard, so a client can tell a fleet
-// fault from a bad request.
-func (f *Front) backendError(w http.ResponseWriter, shard int, err error) {
+// bad_gateway envelope naming the shard — carrying retry_after_s and the
+// matching Retry-After header, since a lone unreachable worker is
+// usually restarting. The failure log and the request's access line both
+// name the failing shard's backend URL.
+func (f *Front) backendError(w http.ResponseWriter, r *http.Request, shard int, err error) {
 	f.backendErrs.Inc()
+	base := f.backends[shard]
+	acc := accessFrom(r.Context())
+	acc.shard = base
 	if f.log != nil {
-		f.log.Warn("shard backend failed", "shard", shard, "err", err)
+		f.log.Warn("shard backend failed",
+			"shard", shard, "backend", base, "trace", acc.id, "err", err)
 	}
 	writeError(w, http.StatusBadGateway, core.ErrBadGateway,
 		fmt.Sprintf("shard %d: %v", shard, err))

@@ -1,6 +1,9 @@
 package telemetry
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // hotLoop is the shape of an instrumented pipeline inner loop: one counter
 // bump and one histogram observation per item. With nil handles it must
@@ -21,6 +24,8 @@ func TestDisabledTelemetryZeroAllocs(t *testing.T) {
 	var g *Gauge
 	var h *Histogram
 	var tr *Trace
+	var ring *TraceRing
+	ctx := context.Background()
 	if allocs := testing.AllocsPerRun(100, func() {
 		c.Inc()
 		c.Add(2)
@@ -31,6 +36,9 @@ func TestDisabledTelemetryZeroAllocs(t *testing.T) {
 		_ = g.Value()
 		_ = h.Count()
 		tr.StartSpan("x")()
+		_ = tr.ID()
+		_ = TraceFromContext(ContextWithTrace(ctx, tr)).Views()
+		ring.Add(TraceRecord{})
 		hotLoop(64, r.Counter("c"), r.Histogram("h", CountBuckets))
 	}); allocs != 0 {
 		t.Fatalf("disabled telemetry allocated %.1f times per run, want 0", allocs)
@@ -59,6 +67,24 @@ func BenchmarkHotLoopDisabled(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		hotLoop(1024, c, h)
+	}
+}
+
+// BenchmarkHotLoopDisabledTraced is the alloc-guard gate for the
+// uninstrumented-but-trace-plumbed path: a request flowing through the
+// trace context helpers with tracing disabled (nil trace) must not
+// allocate. cmd/benchjson -allocguard asserts 0 allocs/op on this.
+func BenchmarkHotLoopDisabledTraced(b *testing.B) {
+	var r *Registry
+	var tr *Trace
+	c, h := r.Counter("c"), r.Histogram("h", DurationBuckets)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		jobCtx := ContextWithTrace(ctx, tr)
+		end := TraceFromContext(jobCtx).StartSpan("diagnose")
+		hotLoop(1024, c, h)
+		end()
 	}
 }
 

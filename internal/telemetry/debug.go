@@ -53,15 +53,19 @@ type DebugServer struct {
 }
 
 // ServeDebug publishes the registry under the expvar name "netdiag" and
-// starts the debug server on addr (":0" picks a free port). The server
-// runs until Close.
+// starts the debug server on addr (":0" picks a free port), serving
+// /debug/vars, /debug/pprof and a Prometheus /metrics exposition of the
+// same registry. The server runs until Close.
 func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	r.PublishExpvar("netdiag")
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &DebugServer{srv: &http.Server{Handler: DebugHandler()}, ln: ln}
+	mux := http.NewServeMux()
+	mux.Handle("/", DebugHandler())
+	mux.Handle("GET /metrics", PromHandler(r))
+	s := &DebugServer{srv: &http.Server{Handler: mux}, ln: ln}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
 }

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) over a Registry
+// snapshot, stdlib only. Metric names are sanitized (dots become
+// underscores), counters and gauges render as their scalar value,
+// histograms render with CUMULATIVE bucket counts under ascending
+// `le` labels plus `_sum` and `_count` series, and derived metrics
+// render as gauges. Nanosecond-valued metrics (the "_ns" suffix) are
+// exposed in seconds under the "_seconds" name — see units.go, the one
+// place that unit conversion is defined. Output is deterministic: each
+// section is sorted by metric name.
+
+// promName sanitizes a registry metric name into a Prometheus metric
+// name: every character outside [a-zA-Z0-9_:] becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus text format expects.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns the map's keys in ascending order (map iteration
+// must not feed the writer unsorted — exposition is byte-deterministic
+// modulo values).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format: counters, then gauges, then histograms, then derived metrics
+// (as gauges), each section sorted by name.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		v := s.Gauges[name]
+		n := promName(SecondsName(name))
+		val := strconv.FormatInt(v, 10)
+		if IsDurationMetric(name) {
+			val = promFloat(Seconds(v))
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, val); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		if err := writePromHistogram(w, name, s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Derived) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Derived[name])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram family: cumulative buckets
+// (the snapshot's are per-bucket), a terminal +Inf bucket, _sum and
+// _count. Duration histograms convert to seconds.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	dur := IsDurationMetric(name)
+	n := promName(SecondsName(name))
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if b.UpperBound != math.MaxInt64 {
+			if dur {
+				le = promFloat(Seconds(b.UpperBound))
+			} else {
+				le = strconv.FormatInt(b.UpperBound, 10)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum); err != nil {
+			return err
+		}
+	}
+	// A histogram that never observed still needs its terminal bucket:
+	// text-format parsers require le="+Inf" to equal _count.
+	if len(h.Buckets) == 0 {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count); err != nil {
+			return err
+		}
+	}
+	sum := strconv.FormatInt(h.Sum, 10)
+	if dur {
+		sum = promFloat(Seconds(h.Sum))
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, sum, n, h.Count)
+	return err
+}
+
+// PromHandler serves the registry's current snapshot in Prometheus text
+// format — the /metrics endpoint. A nil registry serves an empty (still
+// valid) exposition.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+}

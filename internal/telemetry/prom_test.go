@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte on a small
+// registry: sorted sections, sanitized names, cumulative buckets, and
+// the ns→seconds unit normalization on "_ns" metrics.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("server.requests_total").Add(3)
+	r.Counter("front.proxied").Add(1)
+	r.Gauge("pool.queue_depth").Set(2)
+	r.Gauge("front.shard0_probe_ns").Set(1_500_000_000) // 1.5s
+	h := r.Histogram("server.request_ns", DurationBuckets)
+	h.Observe(500)  // <= 1µs bucket
+	h.Observe(1500) // <= 10µs bucket
+	r.Histogram("bgp.rounds", []int64{1, 2, 4}).Observe(3)
+	r.Derive("server.hit_ratio", func(Snapshot) float64 { return 0.5 })
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE front_proxied counter",
+		"front_proxied 1",
+		"# TYPE server_requests_total counter",
+		"server_requests_total 3",
+		"# TYPE front_shard0_probe_seconds gauge",
+		"front_shard0_probe_seconds 1.5",
+		"# TYPE pool_queue_depth gauge",
+		"pool_queue_depth 2",
+		"# TYPE bgp_rounds histogram",
+		`bgp_rounds_bucket{le="1"} 0`,
+		`bgp_rounds_bucket{le="2"} 0`,
+		`bgp_rounds_bucket{le="4"} 1`,
+		`bgp_rounds_bucket{le="+Inf"} 1`,
+		"bgp_rounds_sum 3",
+		"bgp_rounds_count 1",
+		"# TYPE server_request_seconds histogram",
+		`server_request_seconds_bucket{le="1e-06"} 1`,
+		`server_request_seconds_bucket{le="1e-05"} 2`,
+		`server_request_seconds_bucket{le="0.0001"} 2`,
+		`server_request_seconds_bucket{le="0.001"} 2`,
+		`server_request_seconds_bucket{le="0.01"} 2`,
+		`server_request_seconds_bucket{le="0.1"} 2`,
+		`server_request_seconds_bucket{le="1"} 2`,
+		`server_request_seconds_bucket{le="10"} 2`,
+		`server_request_seconds_bucket{le="+Inf"} 2`,
+		"server_request_seconds_sum 2e-06",
+		"server_request_seconds_count 2",
+		"# TYPE server_hit_ratio gauge",
+		"server_hit_ratio 0.5",
+	}, "\n") + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromHandler covers the HTTP wrapper, including the nil-registry
+// (empty but valid) exposition.
+func TestPromHandler(t *testing.T) {
+	r := New()
+	r.Counter("c").Inc()
+	w := httptest.NewRecorder()
+	PromHandler(r).ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != 200 {
+		t.Fatalf("status = %d, want 200", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	if !strings.Contains(w.Body.String(), "# TYPE c counter\nc 1\n") {
+		t.Errorf("body missing counter family:\n%s", w.Body.String())
+	}
+
+	w = httptest.NewRecorder()
+	PromHandler(nil).ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != 200 || w.Body.Len() != 0 {
+		t.Errorf("nil registry = %d %q, want 200 with empty exposition", w.Code, w.Body.String())
+	}
+}
+
+// TestSecondsNormalization pins the single unit seam: names, values and
+// the /debug/vars snapshot fields all agree on seconds.
+func TestSecondsNormalization(t *testing.T) {
+	if SecondsName("pool.queue_wait_ns") != "pool.queue_wait_seconds" {
+		t.Errorf("SecondsName(pool.queue_wait_ns) = %q", SecondsName("pool.queue_wait_ns"))
+	}
+	if SecondsName("bgp.rounds") != "bgp.rounds" {
+		t.Errorf("SecondsName must leave non-duration names alone")
+	}
+	if Seconds(2_500_000_000) != 2.5 {
+		t.Errorf("Seconds(2.5e9 ns) = %v, want 2.5", Seconds(2_500_000_000))
+	}
+	r := New()
+	r.Histogram("x.wait_ns", DurationBuckets).Observe(500_000_000)
+	hs := r.Snapshot().Histograms["x.wait_ns"]
+	if hs.SumSeconds != 0.5 || hs.MeanSeconds != 0.5 {
+		t.Errorf("snapshot seconds view = sum %v mean %v, want 0.5/0.5", hs.SumSeconds, hs.MeanSeconds)
+	}
+	if r.Snapshot().Histograms["x.wait_ns"].Sum != 500_000_000 {
+		t.Errorf("recorded unit must stay nanoseconds")
+	}
+}

@@ -16,17 +16,33 @@ type Span struct {
 	Iteration int           `json:"iteration,omitempty"`
 }
 
-// Trace records the phase spans of one call (one Diagnose, one trial). A
-// nil *Trace is a no-op: StartSpan returns a func that does nothing and
-// never reads the clock, so untraced calls pay nothing.
+// Trace records the phase spans of one call (one Diagnose, one trial, or
+// one served request). A nil *Trace is a no-op: StartSpan returns a func
+// that does nothing and never reads the clock, so untraced calls pay
+// nothing. Request traces additionally carry the trace ID propagated in
+// the ND-Trace-Id header (see trace.go).
 type Trace struct {
 	mu    sync.Mutex
 	t0    time.Time
+	id    string
 	spans []Span
 }
 
 // NewTrace starts an empty trace anchored at the current time.
 func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+// NewRequestTrace starts an empty trace anchored at the current time and
+// carrying the given request trace ID.
+func NewRequestTrace(id string) *Trace { return &Trace{t0: time.Now(), id: id} }
+
+// ID returns the trace's request trace ID ("" for a nil or non-request
+// trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
 
 var noopEnd = func() {}
 

@@ -222,12 +222,18 @@ type Bucket struct {
 	Count      int64 `json:"count"`
 }
 
-// HistogramSnapshot is a point-in-time view of a histogram.
+// HistogramSnapshot is a point-in-time view of a histogram. Sum and the
+// bucket bounds are in the histogram's recorded unit (nanoseconds for
+// "_ns"-named duration histograms); SumSeconds/MeanSeconds carry the
+// exposition-unit view for duration histograms so /debug/vars and
+// /metrics agree on seconds (see units.go).
 type HistogramSnapshot struct {
-	Count   int64    `json:"count"`
-	Sum     int64    `json:"sum"`
-	Mean    float64  `json:"mean"`
-	Buckets []Bucket `json:"buckets"`
+	Count       int64    `json:"count"`
+	Sum         int64    `json:"sum"`
+	Mean        float64  `json:"mean"`
+	SumSeconds  float64  `json:"sum_seconds,omitempty"`
+	MeanSeconds float64  `json:"mean_seconds,omitempty"`
+	Buckets     []Bucket `json:"buckets"`
 }
 
 // Snapshot is a point-in-time view of every metric in a registry. It is
@@ -286,6 +292,10 @@ func (r *Registry) Snapshot() Snapshot {
 		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
 		if hs.Count > 0 {
 			hs.Mean = float64(hs.Sum) / float64(hs.Count)
+		}
+		if IsDurationMetric(n) {
+			hs.SumSeconds = Seconds(hs.Sum)
+			hs.MeanSeconds = hs.Mean / nsPerSecond
 		}
 		for i := range h.counts {
 			ub := int64(math.MaxInt64)

@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Request tracing: every request entering the v1 surface is assigned a
+// trace ID at the edge (the fleet front, or a worker for direct
+// requests), carried end to end in the ND-Trace-Id header, and attached
+// to a *Trace that collects the request's phase spans — admission wait,
+// fork, per-batch-item work, encode — across goroutine hops. Completed
+// traces are retained in a TraceRing and served as JSON at
+// /debug/traces; the trace ID never enters a diagnosis response body, so
+// wire bytes stay identical with tracing on or off.
+
+// NewTraceID returns a fresh 16-hex-character trace ID. IDs are random
+// (crypto/rand), not sequential: a fleet has several independent edges
+// and IDs from different processes must not collide.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand does not fail on supported platforms; degrade to a
+		// fixed marker rather than panicking in a serving path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether s is acceptable as a propagated trace ID:
+// 1–64 characters from [0-9A-Za-z_-]. Anything else (empty, oversized,
+// control bytes) is discarded at the edge and replaced by NewTraceID, so
+// logs and /debug/traces never carry attacker-shaped identifiers.
+func ValidTraceID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// traceKey is the context key under which a request's *Trace travels.
+type traceKey struct{}
+
+// ContextWithTrace returns a context carrying t, so code downstream of a
+// handler (queue jobs, forked computations) can attach spans to the
+// request's trace. A nil t returns ctx unchanged — the uninstrumented
+// path stays allocation-free.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFromContext returns the trace carried by ctx, or nil (a no-op
+// trace handle) when there is none.
+func TraceFromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// SpanView is the exposition form of a Span: offsets and durations in
+// seconds (see units.go), sorted by start offset so the nesting of
+// phases reads as a tree.
+type SpanView struct {
+	Name      string  `json:"name"`
+	StartS    float64 `json:"start_s"`
+	DurationS float64 `json:"duration_s"`
+	Iteration int     `json:"iteration,omitempty"`
+}
+
+// TraceRecord is one completed request trace: identity, outcome and the
+// span tree. It is what /debug/traces serves.
+type TraceRecord struct {
+	TraceID   string     `json:"trace_id"`
+	Op        string     `json:"op"`
+	Scenario  string     `json:"scenario,omitempty"`
+	Algorithm string     `json:"algorithm,omitempty"`
+	Shard     string     `json:"shard,omitempty"`
+	Status    int        `json:"status"`
+	Coalesced bool       `json:"coalesced,omitempty"`
+	DurationS float64    `json:"duration_s"`
+	Spans     []SpanView `json:"spans,omitempty"`
+}
+
+// TraceRing retains the last N completed request traces in a fixed-size
+// ring. A nil *TraceRing is a no-op, so untraced servers pay nothing.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []TraceRecord
+	next int
+	full bool
+}
+
+// NewTraceRing returns a ring retaining the last n completed traces
+// (n <= 0 selects 64).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = 64
+	}
+	return &TraceRing{buf: make([]TraceRecord, n)}
+}
+
+// Add retains one completed trace, evicting the oldest when full.
+func (r *TraceRing) Add(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Records returns the retained traces, oldest first. Nil for a nil ring.
+func (r *TraceRing) Records() []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []TraceRecord
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// ServeHTTP serves the retained traces as {"traces":[...]} — the
+// /debug/traces endpoint. A nil ring serves an empty listing.
+func (r *TraceRing) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if r == nil {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("{\n  \"traces\": []\n}\n"))
+		return
+	}
+	recs := r.Records()
+	if recs == nil {
+		recs = []TraceRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Traces []TraceRecord `json:"traces"`
+	}{recs})
+}
+
+// Views returns the trace's spans as exposition views: seconds, sorted
+// by start offset (ties by name) so nested phases group under their
+// parents. Nil for a nil trace.
+func (t *Trace) Views() []SpanView {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	out := make([]SpanView, len(spans))
+	for i, s := range spans {
+		out[i] = SpanView{
+			Name:      s.Name,
+			StartS:    Seconds(int64(s.Start)),
+			DurationS: Seconds(int64(s.Duration)),
+			Iteration: s.Iteration,
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartS != out[j].StartS {
+			return out[i].StartS < out[j].StartS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 || !ValidTraceID(id) {
+			t.Fatalf("NewTraceID() = %q, want 16 valid hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for _, ok := range []string{"a", "0123abcd", "A-Z_09", "deadbeefdeadbeef"} {
+		if !ValidTraceID(ok) {
+			t.Errorf("ValidTraceID(%q) = false, want true", ok)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", "new\nline", "q√", string(long)} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestContextTracePlumbing(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceFromContext(ctx); got != nil {
+		t.Fatalf("TraceFromContext(plain ctx) = %v, want nil", got)
+	}
+	if got := ContextWithTrace(ctx, nil); got != ctx {
+		t.Fatal("ContextWithTrace(ctx, nil) must return ctx unchanged (zero-alloc disabled path)")
+	}
+	tr := NewRequestTrace("abc123")
+	ctx2 := ContextWithTrace(ctx, tr)
+	if got := TraceFromContext(ctx2); got != tr {
+		t.Fatalf("TraceFromContext round-trip = %v, want the trace", got)
+	}
+	if tr.ID() != "abc123" {
+		t.Errorf("trace ID = %q, want abc123", tr.ID())
+	}
+	var nilTr *Trace
+	if nilTr.ID() != "" || nilTr.Views() != nil {
+		t.Error("nil trace must answer empty ID and nil views")
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(TraceRecord{TraceID: fmt.Sprintf("t%d", i), Status: 200})
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("ring holds %d records, want 3", len(recs))
+	}
+	for i, want := range []string{"t2", "t3", "t4"} {
+		if recs[i].TraceID != want {
+			t.Errorf("record %d = %q, want %q (oldest first)", i, recs[i].TraceID, want)
+		}
+	}
+
+	w := httptest.NewRecorder()
+	r.ServeHTTP(w, httptest.NewRequest("GET", "/debug/traces", nil))
+	var doc struct {
+		Traces []TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/traces not JSON: %v\n%s", err, w.Body.String())
+	}
+	if len(doc.Traces) != 3 || doc.Traces[2].TraceID != "t4" {
+		t.Errorf("served traces = %+v, want 3 ending t4", doc.Traces)
+	}
+
+	var nilRing *TraceRing
+	nilRing.Add(TraceRecord{}) // no-op, must not panic
+	if nilRing.Records() != nil {
+		t.Error("nil ring must answer nil records")
+	}
+	w = httptest.NewRecorder()
+	nilRing.ServeHTTP(w, httptest.NewRequest("GET", "/debug/traces", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil || len(doc.Traces) != 0 {
+		t.Errorf("nil ring serves %q, want empty traces JSON", w.Body.String())
+	}
+}
+
+// TestTraceViews pins the exposition form: spans sorted by start offset
+// and converted to seconds.
+func TestTraceViews(t *testing.T) {
+	tr := NewRequestTrace(NewTraceID())
+	endOuter := tr.StartSpan("outer")
+	endInner := tr.StartIteration("inner", 1)
+	time.Sleep(time.Millisecond)
+	endInner() // completes before outer, so raw span order is inner, outer
+	endOuter()
+	views := tr.Views()
+	if len(views) != 2 {
+		t.Fatalf("got %d views, want 2", len(views))
+	}
+	if views[0].Name != "outer" || views[1].Name != "inner" {
+		t.Errorf("views not sorted by start: %+v", views)
+	}
+	if views[1].Iteration != 1 {
+		t.Errorf("iteration lost: %+v", views[1])
+	}
+	if views[1].DurationS <= 0 || views[1].DurationS > 10 {
+		t.Errorf("inner duration_s = %v, want seconds-scale positive value", views[1].DurationS)
+	}
+}

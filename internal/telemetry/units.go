@@ -1,0 +1,38 @@
+package telemetry
+
+import "strings"
+
+// This file is the single place the pipeline's duration unit is
+// normalized. Durations are RECORDED in nanoseconds — int64 histograms
+// and spans keep the hot path a pair of atomic ops with no float math —
+// and EXPOSED in seconds everywhere a human or a scraper reads them:
+// the /metrics Prometheus exposition (prom.go), the /debug/vars
+// histogram snapshots (sum_seconds / mean_seconds), the /debug/traces
+// span views (start_s / duration_s) and the structured access logs.
+// Nanosecond-valued metrics are marked by the "_ns" name suffix; every
+// exposition surface renames them to "_seconds" via SecondsName and
+// converts values via Seconds, so no reader ever sees a mixed-unit
+// report.
+
+// nsPerSecond converts recorded nanoseconds to exposed seconds.
+const nsPerSecond = 1e9
+
+// durationSuffix marks nanosecond-valued metric names.
+const durationSuffix = "_ns"
+
+// Seconds converts a recorded nanosecond value to exposition seconds.
+func Seconds(ns int64) float64 { return float64(ns) / nsPerSecond }
+
+// IsDurationMetric reports whether the metric name declares nanosecond
+// values (the "_ns" suffix convention).
+func IsDurationMetric(name string) bool { return strings.HasSuffix(name, durationSuffix) }
+
+// SecondsName rewrites a nanosecond-valued metric name to its exposition
+// name: "server.request_ns" becomes "server.request_seconds". Names
+// without the "_ns" suffix are returned unchanged.
+func SecondsName(name string) string {
+	if IsDurationMetric(name) {
+		return strings.TrimSuffix(name, durationSuffix) + "_seconds"
+	}
+	return name
+}
