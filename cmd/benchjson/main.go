@@ -69,12 +69,24 @@ type SnapshotScenario struct {
 	DecodeNsPerOp float64 `json:"decode_ns_per_op,omitempty"`
 }
 
+// LintSection summarizes the ndlint incremental-cache benchmarks: what a
+// warm, cache-hit run over the repository saves against the cold run
+// that populated the cache, plus the findings count both report (the
+// two must agree — the cache may only change speed, never output).
+type LintSection struct {
+	ColdNsPerOp float64  `json:"cold_ns_per_op"`
+	WarmNsPerOp float64  `json:"warm_ns_per_op"`
+	WarmSpeedup float64  `json:"warm_speedup,omitempty"`
+	Findings    *float64 `json:"findings,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Benchmarks  []Entry               `json:"benchmarks"`
 	Server      *ServerSection        `json:"server,omitempty"`
 	Incremental []IncrementalScenario `json:"incremental,omitempty"`
 	Snapshot    []SnapshotScenario    `json:"snapshot,omitempty"`
+	Lint        *LintSection          `json:"lint,omitempty"`
 }
 
 // serverSection derives the server summary from the parsed entries; it is
@@ -207,6 +219,33 @@ func snapshotSection(entries []Entry) []SnapshotScenario {
 	return out
 }
 
+// lintSection derives the lint summary from the BenchmarkLintCold and
+// BenchmarkLintWarm entries; nil when either is absent. The findings
+// metric comes from the warm entry (cold and warm must agree; the warm
+// value is the one a cached CI run actually reports).
+func lintSection(entries []Entry) *LintSection {
+	var cold, warm *Entry
+	for _, e := range bestEntries(entries) {
+		switch e.Name {
+		case "BenchmarkLintCold":
+			cold = e
+		case "BenchmarkLintWarm":
+			warm = e
+		}
+	}
+	if cold == nil || warm == nil {
+		return nil
+	}
+	s := &LintSection{ColdNsPerOp: cold.NsPerOp, WarmNsPerOp: warm.NsPerOp}
+	if warm.NsPerOp > 0 {
+		s.WarmSpeedup = cold.NsPerOp / warm.NsPerOp
+	}
+	if f, ok := warm.Extra["findings"]; ok {
+		s.Findings = &f
+	}
+	return s
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two reports: benchjson -compare [-threshold pct] old.json new.json")
@@ -302,6 +341,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	rep.Server = serverSection(rep.Benchmarks)
 	rep.Incremental = incrementalSection(rep.Benchmarks)
 	rep.Snapshot = snapshotSection(rep.Benchmarks)
+	rep.Lint = lintSection(rep.Benchmarks)
 	return rep, sc.Err()
 }
 

@@ -507,6 +507,7 @@ func (e *engine) buildClusters() {
 	}
 }
 
+//ndlint:hotpath
 func sharesPath(a, b map[pair]bool) bool {
 	for p := range a {
 		if b[p] {
@@ -583,6 +584,7 @@ func (e *engine) greedy() (int, error) {
 
 // coverCounts returns how many unexplained failure and reroute sets link l
 // (together with its cluster) intersects.
+//ndlint:hotpath
 func (e *engine) coverCounts(l Link) (fails, reroutes int) {
 	cover := append([]Link{l}, e.extraCover[l]...)
 	for _, fs := range e.failSets {

@@ -10,9 +10,14 @@ import (
 func All() []*Analyzer {
 	return []*Analyzer{
 		CtxFlow,
+		Envelope,
 		GlobalRand,
+		GoLeak,
+		HotAlloc,
+		LockSafe,
 		MapOrder,
 		NilHandle,
+		SpanBalance,
 		TraceCarry,
 		WallClock,
 	}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"testing"
+	"time"
+)
+
+// The lint benchmarks measure the incremental cache over the real
+// repository: a cold run parses and type-checks every package, a warm
+// run only re-digests source files and replays persisted findings. Both
+// report the findings count so benchjson's lint section can assert the
+// cached and uncached runs agree.
+
+func BenchmarkLintCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cacheDir := b.TempDir()
+		b.StartTimer()
+		diags, err := Run(".", []string{"./..."}, Config{Cache: true, CacheDir: cacheDir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(diags)), "findings")
+	}
+}
+
+func BenchmarkLintWarm(b *testing.B) {
+	cacheDir := b.TempDir()
+	if _, err := Run(".", []string{"./..."}, Config{Cache: true, CacheDir: cacheDir}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, err := Run(".", []string{"./..."}, Config{Cache: true, CacheDir: cacheDir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(diags)), "findings")
+	}
+}
+
+// TestLintWarmSpeedup pins the acceptance bar for the cache: a warm
+// full-repo run at least 3x faster than the cold run that filled it.
+// The real gap is one-to-two orders of magnitude (hashing files vs
+// type-checking the module and half of GOROOT), so 3x has headroom.
+func TestLintWarmSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo lint in -short mode")
+	}
+	cacheDir := t.TempDir()
+	start := time.Now()
+	coldDiags, err := Run(".", []string{"./..."}, Config{Cache: true, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+
+	start = time.Now()
+	warmDiags, err := Run(".", []string{"./..."}, Config{Cache: true, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Since(start)
+
+	if render(coldDiags) != render(warmDiags) {
+		t.Errorf("warm findings differ from cold:\n%s\nvs\n%s", render(warmDiags), render(coldDiags))
+	}
+	if warm*3 > cold {
+		t.Errorf("warm lint %v is not 3x faster than cold %v", warm, cold)
+	}
+	t.Logf("cold %v, warm %v (%.1fx)", cold, warm, float64(cold)/float64(warm))
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Version identifies the analysis semantics of this ndlint build. It is
+// folded into every cache key, so bumping it (whenever an analyzer, the
+// CFG lowering, or the suppression rules change behavior) invalidates
+// all persisted results at once.
+const Version = "2"
+
+// The incremental cache persists per-package findings under
+// <module>/.ndlint-cache/, one JSON entry per package directory. An
+// entry is valid only when its key matches, and the key is a content
+// hash over everything that can change the package's findings:
+//
+//   - Version and the exact analyzer set of the run,
+//   - the names and contents of the directory's Go files (including
+//     in-package and external test files), and
+//   - recursively, the same digest for every module-local package the
+//     directory imports — so editing one file re-lints its package and
+//     every reverse dependency, and nothing else.
+//
+// Any defect in an entry — missing, truncated, corrupted JSON, stale
+// digest, foreign version — reads as a cache miss and falls back to a
+// cold analysis of that package; the cache can never change what a run
+// reports, only how much of it is recomputed. Entries are written via
+// rename so a crashed run leaves no torn files.
+type lintCache struct {
+	root  string // cache directory
+	ld    *loader
+	azKey string // Version + analyzer-set fold-in for key()
+
+	digests map[string]string // package dir -> transitive content digest
+	walking map[string]bool   // guards digest recursion against cycles
+}
+
+// cacheEntry is the persisted form of one package directory's result.
+type cacheEntry struct {
+	Version  string       `json:"version"`
+	Digest   string       `json:"digest"`
+	Findings []Diagnostic `json:"findings"`
+}
+
+func newLintCache(ld *loader, dir string, analyzers []*Analyzer) *lintCache {
+	if dir == "" {
+		dir = filepath.Join(ld.modRoot, ".ndlint-cache")
+	}
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return &lintCache{
+		root:    dir,
+		ld:      ld,
+		azKey:   Version + "|" + strings.Join(names, ","),
+		digests: map[string]string{},
+		walking: map[string]bool{},
+	}
+}
+
+// key computes the full cache key for one package directory.
+func (c *lintCache) key(dir string) (string, error) {
+	td, err := c.transitive(dir)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256([]byte(c.azKey + "|" + td))
+	return hex.EncodeToString(h[:]), nil
+}
+
+// transitive digests the directory's Go sources and, recursively, those
+// of every module-local import (std imports are pinned by the toolchain
+// and excluded). Results are memoized per run, so a warm full-repo pass
+// hashes each file exactly once.
+func (c *lintCache) transitive(dir string) (string, error) {
+	if d, ok := c.digests[dir]; ok {
+		return d, nil
+	}
+	if c.walking[dir] {
+		// Only an external-test self-import can revisit a directory; its
+		// files are already in the digest in progress.
+		return "", nil
+	}
+	c.walking[dir] = true
+	defer delete(c.walking, dir)
+
+	bp, err := c.ld.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return "", err
+	}
+	files := make([]string, 0, len(bp.GoFiles)+len(bp.TestGoFiles)+len(bp.XTestGoFiles))
+	files = append(append(append(files, bp.GoFiles...), bp.TestGoFiles...), bp.XTestGoFiles...)
+	sort.Strings(files)
+	h := sha256.New()
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		sum := sha256.Sum256(data)
+		fmt.Fprintf(h, "%s\x00%x\n", name, sum)
+	}
+
+	self := c.ld.importPath(dir)
+	deps := map[string]bool{}
+	for _, set := range [][]string{bp.Imports, bp.TestImports, bp.XTestImports} {
+		for _, ip := range set {
+			if ip != self && (ip == c.ld.modPath || strings.HasPrefix(ip, c.ld.modPath+"/")) {
+				deps[ip] = true
+			}
+		}
+	}
+	sorted := make([]string, 0, len(deps))
+	for ip := range deps {
+		sorted = append(sorted, ip)
+	}
+	sort.Strings(sorted)
+	for _, ip := range sorted {
+		depDir, err := c.ld.resolveDir(ip)
+		if err != nil {
+			return "", err
+		}
+		dd, err := c.transitive(depDir)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "import %s %s\n", ip, dd)
+	}
+
+	digest := hex.EncodeToString(h.Sum(nil))
+	c.digests[dir] = digest
+	return digest, nil
+}
+
+// entryPath maps a package directory to its cache file, named after the
+// import path with separators flattened.
+func (c *lintCache) entryPath(dir string) string {
+	return filepath.Join(c.root, strings.ReplaceAll(c.ld.importPath(dir), "/", "__")+".json")
+}
+
+// lookup returns the cached findings for dir, or ok=false when the
+// package must be analyzed cold.
+func (c *lintCache) lookup(dir string) ([]Diagnostic, bool) {
+	key, err := c.key(dir)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.entryPath(dir))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Version != Version || e.Digest != key {
+		return nil, false
+	}
+	return e.Findings, true
+}
+
+// store persists one freshly analyzed directory's findings. Failures are
+// deliberately silent: a cache that cannot be written degrades to cold
+// runs, never to a failed lint.
+func (c *lintCache) store(dir string, findings []Diagnostic) {
+	key, err := c.key(dir)
+	if err != nil {
+		return
+	}
+	if findings == nil {
+		findings = []Diagnostic{}
+	}
+	data, err := json.Marshal(cacheEntry{Version: Version, Digest: key, Findings: findings})
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.root, 0o755); err != nil {
+		return
+	}
+	tmp := c.entryPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, c.entryPath(dir)); err != nil {
+		os.Remove(tmp)
+	}
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The cache tests build a throwaway module on disk so files can be
+// edited between runs: package a (leaf), package b importing a, and an
+// unrelated package c. Package p is the module root name.
+func writeCacheModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.21\n",
+		"a/a.go": "package a\n\nfunc Answer() int { return 42 }\n",
+		"b/b.go": "package b\n\nimport \"cachetest/a\"\n\nfunc Double() int { return 2 * a.Answer() }\n",
+		"c/c.go": "package c\n\nfunc Noop() {}\n",
+	}
+	for name, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// entryDigests reads the digest field of every cache entry, keyed by
+// entry file name.
+func entryDigests(t *testing.T, cacheDir string) map[string]string {
+	t.Helper()
+	ents, err := os.ReadDir(cacheDir)
+	if err != nil {
+		t.Fatalf("reading cache dir: %v", err)
+	}
+	out := map[string]string{}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(cacheDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Digest is enough to identify an entry generation; parse crudely
+		// so a deliberately corrupted entry doesn't fail the helper.
+		if i := strings.Index(string(data), `"digest":"`); i >= 0 {
+			rest := string(data)[i+len(`"digest":"`):]
+			out[e.Name()] = rest[:strings.IndexByte(rest, '"')]
+		} else {
+			out[e.Name()] = "corrupt"
+		}
+	}
+	return out
+}
+
+func runCached(t *testing.T, root, cacheDir string, cfg Config) []Diagnostic {
+	t.Helper()
+	cfg.Cache = true
+	cfg.CacheDir = cacheDir
+	diags, err := Run(root, []string{"./..."}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestCacheInvalidatesPackageAndReverseDeps edits one file and checks
+// exactly its package and the packages importing it are re-analyzed.
+func TestCacheInvalidatesPackageAndReverseDeps(t *testing.T) {
+	root := writeCacheModule(t)
+	cacheDir := filepath.Join(root, ".ndlint-cache")
+
+	if diags := runCached(t, root, cacheDir, Config{}); len(diags) != 0 {
+		t.Fatalf("clean module has findings: %v", diags)
+	}
+	before := entryDigests(t, cacheDir)
+	for _, name := range []string{"cachetest__a.json", "cachetest__b.json", "cachetest__c.json"} {
+		if _, ok := before[name]; !ok {
+			t.Fatalf("missing cache entry %s (have %v)", name, before)
+		}
+	}
+
+	// Introduce a goleak violation in a, so the second run's output
+	// proves the edited package really was re-analyzed, not replayed.
+	src := "package a\n\nfunc Answer() int { return 42 }\n\nfunc leak() {\n\tgo func() {\n\t\tfor {\n\t\t}\n\t}()\n}\n"
+	if err := os.WriteFile(filepath.Join(root, "a", "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runCached(t, root, cacheDir, Config{})
+	if len(diags) != 1 || diags[0].Analyzer != "goleak" {
+		t.Fatalf("after edit want exactly the new goleak finding, got %v", diags)
+	}
+	after := entryDigests(t, cacheDir)
+	if before["cachetest__a.json"] == after["cachetest__a.json"] {
+		t.Errorf("edited package a kept a stale cache entry")
+	}
+	if before["cachetest__b.json"] == after["cachetest__b.json"] {
+		t.Errorf("reverse dependency b kept a stale cache entry")
+	}
+	if before["cachetest__c.json"] != after["cachetest__c.json"] {
+		t.Errorf("unrelated package c was invalidated")
+	}
+
+	// Third run with nothing changed: pure replay, same output.
+	replay := runCached(t, root, cacheDir, Config{})
+	if render(replay) != render(diags) {
+		t.Errorf("warm replay differs:\n%s\nvs\n%s", render(replay), render(diags))
+	}
+}
+
+// TestCacheInvalidatesOnAnalyzerSet changes the analyzer set between
+// runs: every entry must be recomputed, none replayed.
+func TestCacheInvalidatesOnAnalyzerSet(t *testing.T) {
+	root := writeCacheModule(t)
+	cacheDir := filepath.Join(root, ".ndlint-cache")
+
+	runCached(t, root, cacheDir, Config{})
+	before := entryDigests(t, cacheDir)
+
+	runCached(t, root, cacheDir, Config{Analyzers: []*Analyzer{GoLeak, WallClock}})
+	after := entryDigests(t, cacheDir)
+	for name := range before {
+		if before[name] == after[name] {
+			t.Errorf("entry %s survived an analyzer-set change", name)
+		}
+	}
+}
+
+// TestCacheCorruptEntryFallsBackCold truncates and scrambles an entry;
+// the next run must quietly re-analyze and heal it.
+func TestCacheCorruptEntryFallsBackCold(t *testing.T) {
+	root := writeCacheModule(t)
+	cacheDir := filepath.Join(root, ".ndlint-cache")
+
+	runCached(t, root, cacheDir, Config{})
+	entry := filepath.Join(cacheDir, "cachetest__b.json")
+	if err := os.WriteFile(entry, []byte(`{"version":"2","digest":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if diags := runCached(t, root, cacheDir, Config{}); len(diags) != 0 {
+		t.Fatalf("corrupted cache changed the findings: %v", diags)
+	}
+	data, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"findings":[]`) {
+		t.Errorf("corrupted entry was not rewritten: %s", data)
+	}
+}
+
+// TestCacheOutputByteIdentical runs all four combinations of cache
+// on/off and parallelism 1/8 over a module with real findings; every
+// rendering must be identical.
+func TestCacheOutputByteIdentical(t *testing.T) {
+	root := writeCacheModule(t)
+	src := "package c\n\nfunc Noop() {}\n\nfunc leak() {\n\tgo func() {\n\t\tfor {\n\t\t}\n\t}()\n}\n"
+	if err := os.WriteFile(filepath.Join(root, "c", "c.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(root, ".ndlint-cache")
+
+	uncached, err := Run(root, []string{"./..."}, Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uncached) == 0 {
+		t.Fatal("fixture module should have findings")
+	}
+	cold := runCached(t, root, cacheDir, Config{Parallelism: 8})
+	warm := runCached(t, root, cacheDir, Config{Parallelism: 1})
+	warm8 := runCached(t, root, cacheDir, Config{Parallelism: 8})
+	want := render(uncached)
+	for name, got := range map[string][]Diagnostic{"cold": cold, "warm": warm, "warm8": warm8} {
+		if render(got) != want {
+			t.Errorf("%s output differs from uncached:\n%s\nvs\n%s", name, render(got), want)
+		}
+	}
+}

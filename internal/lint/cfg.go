@@ -1,0 +1,441 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the control-flow half of the dataflow lint framework: an
+// intraprocedural CFG built directly over go/ast, with go/types on hand
+// for the semantic questions the builder must answer (is this call the
+// builtin panic? is that range expression a channel?). Blocks carry the
+// statements they execute in order; edges carry Go's structured control
+// flow — loops, labeled break/continue, switch/type-switch/select,
+// goto, fallthrough — plus a synthetic Exit block every return, every
+// panic and the final fallthrough all converge on. The dataflow solver
+// in dataflow.go runs lattice problems over this graph.
+//
+// Two deliberate simplifications, both safe for the analyzers built on
+// top:
+//
+//   - defer is a plain statement, not an exit-time edge. Analyzers that
+//     care (locksafe, spanbalance) treat a DeferStmt as taking effect at
+//     its program point: once `defer mu.Unlock()` executes, every path
+//     leaving the function releases the lock, so killing the fact right
+//     there is sound — and it naturally keeps a defer inside one branch
+//     from excusing the branch that never ran it.
+//   - panic edges go to Exit. A recover in a deferred closure resumes in
+//     the caller, not in this function's body, so for intraprocedural
+//     facts "panic leaves the function" is the truth.
+
+// Block is one straight-line run of statements. Nodes holds the
+// statements (and branch-deciding expressions) in execution order; Succs
+// are the blocks control can reach next, in deterministic source order.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (creation order; Entry
+	// is 0). Solver worklists key on it so iteration is deterministic.
+	Index int
+	// Nodes are the statements executed in this block, in order.
+	Nodes []ast.Node
+	// Succs are the successor blocks.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block in creation (roughly source) order.
+	// Blocks[0] is Entry.
+	Blocks []*Block
+	// Entry is where execution starts.
+	Entry *Block
+	// Exit is the synthetic block every return, panic and normal
+	// function end flows into. It holds no statements.
+	Exit *Block
+}
+
+// cfgBuilder tracks the open control-flow context while walking a body.
+type cfgBuilder struct {
+	cfg  *CFG
+	cur  *Block // nil after a terminator (return/branch/panic): code is unreachable
+	info *types.Info
+
+	// targets is the stack of enclosing breakable/continuable regions.
+	targets []cfgTarget
+	// labels maps label names to their blocks, for goto and labeled
+	// break/continue. Forward gotos are patched via gotoFixups.
+	labels     map[string]*Block
+	gotoFixups []gotoFixup
+	// pendingLabel is the label of a LabeledStmt whose inner statement is
+	// about to be built, so `break L`/`continue L` can find its loop.
+	pendingLabel string
+}
+
+// cfgTarget is one enclosing loop/switch/select a break or continue can
+// jump out of. cont is nil for switch/select (continue skips them).
+type cfgTarget struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+type gotoFixup struct {
+	from  *Block
+	label string
+	pos   token.Pos
+}
+
+// buildCFG constructs the CFG of one function body. info resolves the
+// semantic questions (panic calls, channel ranges); it may be nil in
+// tests that only need the shape.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		info:   info,
+		labels: map[string]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	b.stmtList(body.List)
+	// Falling off the end of the body returns.
+	b.edgeTo(exit)
+	// Patch forward gotos now that every label is known. An unknown label
+	// is a compile error upstream, so silently dropping it is fine.
+	for _, fx := range b.gotoFixups {
+		if t, ok := b.labels[fx.label]; ok {
+			addEdge(fx.from, t)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func addEdge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// edgeTo links the current block to next (no-op when the current point is
+// unreachable).
+func (b *cfgBuilder) edgeTo(next *Block) {
+	if b.cur != nil {
+		addEdge(b.cur, next)
+	}
+}
+
+// startBlock makes next the current block (after wiring the fall-through
+// edge from the old current block).
+func (b *cfgBuilder) startBlock(next *Block) {
+	b.edgeTo(next)
+	b.cur = next
+}
+
+// add appends a node to the current block. Unreachable statements get a
+// fresh predecessor-less block so analyzers still see them.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending label for a loop/switch about to be
+// built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findTarget resolves a break/continue to its enclosing region.
+func (b *cfgBuilder) findTarget(label string, needCont bool) *cfgTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needCont && t.cont == nil {
+			continue
+		}
+		if label == "" || t.label == label {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement opens a fresh block so goto/continue have
+		// a stable target.
+		lb := b.newBlock()
+		b.startBlock(lb)
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edgeTo(b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(label, false); t != nil {
+				b.edgeTo(t.brk)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findTarget(label, true); t != nil {
+				b.edgeTo(t.cont)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if b.cur != nil {
+				b.gotoFixups = append(b.gotoFixups, gotoFixup{from: b.cur, label: label, pos: s.Pos()})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by the switch builder (edge to the next case body);
+			// the statement itself terminates the block.
+			b.cur = nil
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		b.startBlock(thenBlk)
+		b.stmt(s.Body)
+		b.edgeTo(after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			if condBlk != nil {
+				addEdge(condBlk, elseBlk)
+			}
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edgeTo(after)
+		} else if condBlk != nil {
+			addEdge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		addEdge(head, body)
+		if s.Cond != nil {
+			addEdge(head, after)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			addEdge(post, head)
+			cont = post
+		}
+		b.targets = append(b.targets, cfgTarget{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edgeTo(cont)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		// Only the range expression is a block node: adding the RangeStmt
+		// itself would hand analyzers the whole loop body again when they
+		// walk the node's subtree. The per-iteration key/value assignment
+		// carries no facts any shipped analyzer tracks.
+		b.add(s.X)
+		head := b.newBlock()
+		b.startBlock(head)
+		body := b.newBlock()
+		after := b.newBlock()
+		addEdge(head, body)
+		addEdge(head, after)
+		b.targets = append(b.targets, cfgTarget{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edgeTo(head)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		after := b.newBlock()
+		b.targets = append(b.targets, cfgTarget{label: label, brk: after})
+		anyBody := false
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			anyBody = true
+			cb := b.newBlock()
+			addEdge(head, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edgeTo(after)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		if !anyBody {
+			// select{} blocks forever: no successors.
+			b.cur = nil
+			return
+		}
+		b.cur = after
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(b.info, s.X) {
+			b.edgeTo(b.cfg.Exit)
+			b.cur = nil
+		}
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.AssignStmt, *ast.DeclStmt,
+		*ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// switchStmt builds value and type switches. tag is the switch
+// expression (nil for type switches, which pass assign instead).
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	b.targets = append(b.targets, cfgTarget{label: label, brk: after})
+
+	// Pre-create the case body blocks so fallthrough can edge forward.
+	var clauses []*ast.CaseClause
+	var bodies []*Block
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, cc)
+		bodies = append(bodies, b.newBlock())
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range clauses {
+		addEdge(head, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		for _, st := range cc.Body {
+			// fallthrough is only legal as the final statement of a case
+			// body; wire its edge from the block it actually sits in, so
+			// facts accumulated in the case flow into the next one.
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				b.add(br)
+				if i+1 < len(bodies) {
+					b.edgeTo(bodies[i+1])
+				}
+				b.cur = nil
+				continue
+			}
+			b.stmt(st)
+		}
+		b.edgeTo(after)
+	}
+	if !hasDefault {
+		addEdge(head, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if info == nil {
+		return true
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -72,9 +72,14 @@ func TestGolden(t *testing.T) {
 		analyzer *Analyzer
 	}{
 		{"ctxflow", CtxFlow},
+		{"envelope", Envelope},
 		{"globalrand", GlobalRand},
+		{"goleak", GoLeak},
+		{"hotalloc", HotAlloc},
+		{"locksafe", LockSafe},
 		{"maporder", MapOrder},
 		{"nilhandle", NilHandle},
+		{"spanbalance", SpanBalance},
 		{"tracecarry", TraceCarry},
 		{"wallclock", WallClock},
 	}
@@ -121,7 +126,8 @@ func consume(ws []*want, d Diagnostic) bool {
 
 // TestRepoSelfClean is the linter eating its own dog food: ndlint over
 // the whole repository reports nothing, and its output is byte-identical
-// at parallelism 1 and 8 (the determinism the driver promises CI).
+// at parallelism 1 and 8 and with the incremental cache cold, warm or
+// off (the determinism the driver promises CI).
 func TestRepoSelfClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-repo type-check in -short mode")
@@ -136,6 +142,20 @@ func TestRepoSelfClean(t *testing.T) {
 	}
 	if got, want := render(parallel), render(serial); got != want {
 		t.Errorf("output differs across parallelism:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+	cacheDir := t.TempDir()
+	cold, err := Run(".", []string{"./..."}, Config{Parallelism: 8, Cache: true, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(".", []string{"./..."}, Config{Parallelism: 1, Cache: true, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string][]Diagnostic{"cache-cold": cold, "cache-warm": warm} {
+		if render(got) != render(serial) {
+			t.Errorf("%s output differs from uncached:\n%s\nvs\n%s", name, render(got), render(serial))
+		}
 	}
 	if len(serial) != 0 {
 		t.Errorf("repository is not lint-clean:\n%s", render(serial))

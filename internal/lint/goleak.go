@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak flags bare `go` statements in library code whose goroutine has
+// no visible termination edge. A goroutine is considered bounded when
+// its body (the spawned function literal, or the body of a same-package
+// function it calls) shows one of:
+//
+//   - a context.Context in scope (ctx.Done selection or any
+//     context-typed value referenced),
+//   - a channel operation (receive, send, close, range over a channel,
+//     or a select) — the goroutine parks on and is released by a
+//     channel the caller controls,
+//   - a sync.WaitGroup Done/Wait call — the caller joins it.
+//
+// Calls into other packages are assumed bounded (their contract is not
+// visible to an intraprocedural analysis); package main and test files
+// are exempt, since process or test lifetime bounds them.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines in library code carry a ctx/done-channel/WaitGroup termination edge",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	// Same-package function bodies, so `go s.worker()` can be judged by
+	// what worker does.
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+					bodies[obj] = fn.Body
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if p.InTestFile(g.Pos()) {
+				return true
+			}
+			if goStmtBounded(p.Info, g, bodies) {
+				return true
+			}
+			p.Reportf(g.Pos(), "goroutine has no termination edge (no ctx, done channel, or WaitGroup); it can outlive its caller")
+			return true
+		})
+	}
+}
+
+// goStmtBounded reports whether the spawned goroutine has a visible
+// termination edge.
+func goStmtBounded(info *types.Info, g *ast.GoStmt, bodies map[*types.Func]*ast.BlockStmt) bool {
+	// Arguments evaluated at spawn (including a bound ctx) count: a
+	// context passed into the call is a termination edge the callee is
+	// expected to honor.
+	for _, a := range g.Call.Args {
+		if t := info.TypeOf(a); isContextType(t) {
+			return true
+		}
+	}
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return bodyBounded(info, fl.Body)
+	}
+	fn := calleeFunc(info, g.Call)
+	if fn == nil {
+		// Indirect spawn through a func value: can't see the body;
+		// assume the owner of the value bounds it.
+		return true
+	}
+	body, ok := bodies[fn]
+	if !ok {
+		// Cross-package callee: its lifetime contract is not visible
+		// intraprocedurally; assume bounded.
+		return true
+	}
+	return bodyBounded(info, body)
+}
+
+// bodyBounded scans a function body for any termination-edge shape.
+func bodyBounded(info *types.Info, body *ast.BlockStmt) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				bounded = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			bounded = true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					bounded = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					bounded = true
+				}
+			}
+			if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+				switch fn.Name() {
+				case "Done", "Wait":
+					bounded = true
+				}
+			}
+		case *ast.Ident:
+			if t := info.TypeOf(n); isContextType(t) {
+				bounded = true
+			}
+		}
+		return !bounded
+	})
+	return bounded
+}

@@ -20,10 +20,31 @@
 //     queue carry the request trace across the goroutine hop (the
 //     fleet-wide request tracing contract)
 //
+// plus the flow-sensitive analyzers, which lower each function body to a
+// control-flow graph (cfg.go) and solve worklist dataflow problems over
+// it (dataflow.go), so early returns, loops, labeled branches and panic
+// edges are real paths:
+//
+//   - locksafe — every mutex acquire is released on all paths out of
+//     the function; no queue submit, HTTP round trip, blocking channel
+//     op or indirect call while a lock is held; no re-acquire of a held
+//     lock; per-package lock-order cycle detection (AB/BA)
+//   - spanbalance — every telemetry span started is ended on all paths;
+//     discarding or overwriting a live end func is reported at the site
+//   - envelope — in internal/server, error responses flow through the
+//     writeError seam (no http.Error, bare error WriteHeader, or
+//     hand-rolled error JSON), and no path writes two HTTP statuses
+//   - goleak — bare `go` statements in library code carry a visible
+//     termination edge: a context, a channel operation, or a WaitGroup
+//   - hotalloc — functions marked //ndlint:hotpath stay free of
+//     alloc-inducing constructs (fmt, string concat, map literals,
+//     unpreallocated append-in-loop)
+//
 // Diagnostics are deterministic: sorted by file, line, column, analyzer
 // and message, deduplicated across the test/non-test variants of a
-// package, and byte-identical at any parallelism. Findings are
-// suppressed in place with
+// package, and byte-identical at any parallelism — and, via the
+// incremental result cache (cache.go), identical with caching on or
+// off. Findings are suppressed in place with
 //
 //	//ndlint:ignore <analyzer>[,<analyzer>...] <reason>
 //

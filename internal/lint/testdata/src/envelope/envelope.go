@@ -1,0 +1,79 @@
+// Package server (fixture dir "envelope") is golden-test input for the
+// envelope analyzer: error responses must flow through the writeError
+// seam, and no path may write an HTTP status twice. The package is named
+// server because the analyzer only guards the server package.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+var errBoom = errors.New("boom")
+
+// writeError is the envelope seam: the one place allowed to touch the
+// wire directly with an error shape.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":{"code":%q,"message":%q}}`, code, msg)
+}
+
+// goodSeamUse answers errors through the seam and returns.
+func goodSeamUse(w http.ResponseWriter, err error) {
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// badHTTPError bypasses the envelope with the stdlib helper.
+func badHTTPError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want envelope "http.Error bypasses the v1 error envelope"
+}
+
+// badRawStatus writes an error status outside the seam.
+func badRawStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadRequest) // want envelope "WriteHeader(400) writes an error status outside the writeError seam"
+}
+
+// goodOKStatus writes a success status: only error statuses are gated.
+func goodOKStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// badHandRolledFprintf prints an error envelope by hand.
+func badHandRolledFprintf(w http.ResponseWriter) {
+	fmt.Fprintf(w, `{"error":{"code":"internal","message":%q}}`, errBoom) // want envelope "hand-rolled error JSON written to the ResponseWriter"
+}
+
+// badHandRolledWrite writes error JSON bytes directly.
+func badHandRolledWrite(w http.ResponseWriter) {
+	w.Write([]byte(`{"error":{"code":"internal"}}`)) // want envelope "hand-rolled error JSON written to the ResponseWriter"
+}
+
+// goodPayloadWrite writes non-error JSON directly: allowed.
+func goodPayloadWrite(w http.ResponseWriter) {
+	w.Write([]byte(`{"results":[]}`))
+}
+
+// badMissingReturn forgets the return after answering the error, so the
+// success path writes a second status.
+func badMissingReturn(w http.ResponseWriter, err error) {
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+	w.WriteHeader(http.StatusNoContent) // want envelope "HTTP status already written on this path"
+}
+
+// probe mirrors the /readyz plain-text exemption: a reasoned
+// suppression keeps the deliberate bare status write.
+func probe(w http.ResponseWriter, ready bool) {
+	if !ready {
+		//ndlint:ignore envelope fixture: plain-text probe endpoint for load balancers, the JSON envelope seam does not apply
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}

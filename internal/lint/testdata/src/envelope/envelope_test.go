@@ -1,0 +1,18 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// Test files are exempt: a test asserting raw wire behavior may answer
+// however it likes. This file also forces the test-augmented variant of
+// the package, exercising diagnostic dedupe across unit variants.
+func TestRawErrorExempt(t *testing.T) {
+	rec := httptest.NewRecorder()
+	http.Error(rec, "boom", http.StatusInternalServerError)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}

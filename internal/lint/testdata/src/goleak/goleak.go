@@ -1,0 +1,124 @@
+// Package goleak is golden-test input for the goleak analyzer: bare go
+// statements in library code must carry a visible termination edge — a
+// context, a channel operation, or a WaitGroup join.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	n    int
+	jobs chan int
+}
+
+func work() {}
+
+// spin has no termination edge: it runs until the process dies.
+func (w *worker) spin() {
+	for {
+		w.n++
+	}
+}
+
+// pump drains the jobs channel; closing it terminates the goroutine.
+func (w *worker) pump() {
+	for j := range w.jobs {
+		w.n += j
+	}
+}
+
+// badBareGo spawns a goroutine nothing can stop.
+func badBareGo() {
+	go func() { // want goleak "goroutine has no termination edge (no ctx, done channel, or WaitGroup); it can outlive its caller"
+		for {
+			work()
+		}
+	}()
+}
+
+// badNamedSpin spawns a same-package method whose body shows no edge.
+func badNamedSpin(w *worker) {
+	go w.spin() // want goleak "goroutine has no termination edge"
+}
+
+// goodNamedPump: the callee's body parks on a channel the caller owns.
+func goodNamedPump(w *worker) {
+	go w.pump()
+}
+
+// goodCtxClosure watches its context.
+func goodCtxClosure(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// goodCtxArg passes a context into the spawned call: the callee is
+// expected to honor it.
+func goodCtxArg(ctx context.Context, run func(context.Context)) {
+	go run(ctx)
+}
+
+// goodRecv parks on a done channel.
+func goodRecv(done chan struct{}) {
+	go func() {
+		work()
+		<-done
+	}()
+}
+
+// goodSend is released by the reader of results.
+func goodSend(results chan int) {
+	go func() {
+		results <- 1
+	}()
+}
+
+// goodSelect multiplexes over channels.
+func goodSelect(done chan struct{}, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case t := <-ticks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// goodClose signals completion by closing a channel.
+func goodClose(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work()
+	}()
+}
+
+// goodWaitGroup is joined by the caller.
+func goodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// goodIndirect spawns through a func value: the value's owner is assumed
+// to bound it.
+func goodIndirect(fn func()) {
+	go fn()
+}
+
+// suppressed shows a reasoned suppression of a deliberate daemon.
+func suppressed() {
+	//ndlint:ignore goleak fixture: demonstrates a reasoned suppression of a process-lifetime daemon
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

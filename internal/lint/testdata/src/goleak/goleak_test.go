@@ -1,0 +1,17 @@
+package goleak
+
+import "testing"
+
+// Test files are exempt: test lifetime bounds their goroutines. This
+// file also forces the test-augmented variant of the package,
+// exercising diagnostic dedupe across unit variants.
+func TestBareGoExempt(t *testing.T) {
+	go func() {
+		for {
+			work()
+		}
+	}()
+	if testing.Short() {
+		t.Skip()
+	}
+}

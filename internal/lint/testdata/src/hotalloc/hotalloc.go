@@ -1,0 +1,108 @@
+// Package hotalloc is golden-test input for the hotalloc analyzer:
+// functions marked //ndlint:hotpath must avoid alloc-inducing
+// constructs; unmarked functions are out of scope.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// coldFormat is unmarked: the zero-alloc budget does not apply.
+func coldFormat(keys []string) string {
+	s := ""
+	for _, k := range keys {
+		s += k
+	}
+	return fmt.Sprintf("[%s]", s)
+}
+
+//ndlint:hotpath
+func badFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want hotalloc "fmt.Sprintf allocates; hotpath functions must stay alloc-free"
+}
+
+// goodStrconv builds the same string alloc-consciously.
+//
+//ndlint:hotpath
+func goodStrconv(dst []byte, n int) []byte {
+	return strconv.AppendInt(dst, int64(n), 10)
+}
+
+//ndlint:hotpath
+func badMakeMap(n int) int {
+	seen := make(map[int]bool, n) // want hotalloc "make(map) allocates"
+	return len(seen)
+}
+
+//ndlint:hotpath
+func badMapLiteral() int {
+	weights := map[string]int{"a": 1} // want hotalloc "map literal allocates; hoist it out of the hotpath"
+	return weights["a"]
+}
+
+//ndlint:hotpath
+func badAppendInLoop(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want hotalloc "append inside a loop grows an unpreallocated slice"
+	}
+	return out
+}
+
+// goodPreallocAppend grows a slice made with a capacity: amortized free.
+//
+//ndlint:hotpath
+func goodPreallocAppend(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// goodAppendOutsideLoop appends once; no loop, no repeated growth.
+//
+//ndlint:hotpath
+func goodAppendOutsideLoop(xs []int, x int) []int {
+	return append(xs, x)
+}
+
+//ndlint:hotpath
+func badConcat(a, b string) string {
+	return a + b // want hotalloc "string concatenation allocates"
+}
+
+// goodConstConcat folds at compile time.
+//
+//ndlint:hotpath
+func goodConstConcat() string {
+	return "net" + "diag"
+}
+
+//ndlint:hotpath
+func badPlusAssign(keys []string) string {
+	s := ""
+	for _, k := range keys {
+		s += k // want hotalloc "string += allocates"
+	}
+	return s
+}
+
+// badNestedClosure: function literals inside a marked function run as
+// part of the hot path and inherit the budget.
+//
+//ndlint:hotpath
+func badNestedClosure(ns []int) func() string {
+	return func() string {
+		return fmt.Sprint(ns) // want hotalloc "fmt.Sprint allocates"
+	}
+}
+
+// suppressed shows a reasoned suppression of a one-off alloc.
+//
+//ndlint:hotpath
+func suppressed(n int) string {
+	//ndlint:ignore hotalloc fixture: demonstrates a reasoned suppression of a cold error path inside a hot function
+	return fmt.Sprintf("overflow at %d", n)
+}

@@ -1,0 +1,21 @@
+package hotalloc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Test files are exempt even when marked: benchmarks and helpers may
+// format freely. This file also forces the test-augmented variant of
+// the package, exercising diagnostic dedupe across unit variants.
+//
+//ndlint:hotpath
+func formatForAssertion(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+func TestColdFormat(t *testing.T) {
+	if got := formatForAssertion(7); got != "7" {
+		t.Fatalf("got %q", got)
+	}
+}

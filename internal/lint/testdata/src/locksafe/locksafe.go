@@ -1,0 +1,182 @@
+// Package locksafe is golden-test input for the locksafe analyzer:
+// lock/unlock balance on all paths, the defer idiom, banned operations
+// inside critical sections, and per-package lock-order facts.
+package locksafe
+
+import (
+	"net/http"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+type queue struct{}
+
+// TrySubmit mirrors the admission seam locksafe bans under a lock.
+func (q *queue) TrySubmit(fn func()) bool { return true }
+
+// goodDefer releases on every path via the defer idiom.
+func (s *store) goodDefer(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// goodExplicit releases explicitly on both paths.
+func (s *store) goodExplicit(k string) (int, bool) {
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return v, true
+	}
+	s.mu.Unlock()
+	return 0, false
+}
+
+// goodDeferClosure releases through a directly deferred closure.
+func (s *store) goodDeferClosure(k string) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.m[k]
+}
+
+// badEarlyReturn leaks the lock on the miss path.
+func (s *store) badEarlyReturn(k string) (int, bool) {
+	s.mu.Lock() // want locksafe "s.mu is not released on every path out of the function"
+	v, ok := s.m[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// badWrongMode releases the write half of an RWMutex taken for read.
+func (s *store) badWrongMode(k string) int {
+	s.rw.RLock() // want locksafe "s.rw (read) is not released on every path out of the function"
+	v := s.m[k]
+	s.rw.Unlock()
+	return v
+}
+
+// goodRW balances the read mode.
+func (s *store) goodRW(k string) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.m[k]
+}
+
+// badDoubleLock re-acquires a lock it already holds.
+func (s *store) badDoubleLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want locksafe "s.mu acquired while already held (self-deadlock)"
+	s.mu.Unlock()
+}
+
+// badSubmitUnderLock enqueues while inside the critical section — the
+// defer idiom must not blind the check.
+func (s *store) badSubmitUnderLock(q *queue) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q.TrySubmit(func() {}) // want locksafe "admission-queue submit (TrySubmit) while holding s.mu"
+}
+
+// badHTTPUnderLock does a round trip while holding the lock.
+func (s *store) badHTTPUnderLock(c *http.Client) {
+	s.mu.Lock()
+	_, _ = c.Get("http://example.invalid/") // want locksafe "HTTP round trip (http.Get) while holding s.mu"
+	s.mu.Unlock()
+}
+
+// badRecvUnderLock may park on the channel with the lock held.
+func (s *store) badRecvUnderLock(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want locksafe "channel receive while holding s.mu"
+}
+
+// goodSelectDefault is a non-blocking channel op: exempt.
+func (s *store) goodSelectDefault(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// badIndirectUnderLock runs unknown code inside the critical section.
+func (s *store) badIndirectUnderLock(build func() int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return build() // want locksafe "call through func value build while holding s.mu"
+}
+
+// goodBuildOutsideLock is the restructured shape: check under lock,
+// build outside, re-check on re-lock.
+func (s *store) goodBuildOutsideLock(k string, build func() int) int {
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	v := build()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.m[k]; ok {
+		return prev
+	}
+	s.m[k] = v
+	return v
+}
+
+// goodOwnCriticalSection: a closure that locks and unlocks for itself
+// must not count as releasing the caller's lock (it runs later).
+func (s *store) goodOwnCriticalSection(k string) func() {
+	cleanup := func() {
+		s.mu.Lock()
+		delete(s.m, k)
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[k] = 1
+	return cleanup
+}
+
+// suppressed shows a reasoned suppression silencing a finding.
+func (s *store) suppressed() {
+	//ndlint:ignore locksafe fixture: demonstrates a reasoned suppression of a deliberate leak
+	s.mu.Lock()
+}
+
+type orderA struct{ mu sync.Mutex }
+
+type orderB struct{ mu sync.Mutex }
+
+// abOrder acquires orderA.mu then orderB.mu.
+func abOrder(x *orderA, y *orderB) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// baOrder acquires them in the opposite order: together with abOrder
+// this is the AB/BA deadlock shape the lock-order facts catch.
+func baOrder(x *orderA, y *orderB) {
+	y.mu.Lock()
+	x.mu.Lock() // want locksafe "lock-order cycle: orderA.mu and orderB.mu are acquired in both orders"
+	x.mu.Unlock()
+	y.mu.Unlock()
+}

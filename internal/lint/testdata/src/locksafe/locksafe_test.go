@@ -1,0 +1,16 @@
+package locksafe
+
+import "testing"
+
+// Test files are exempt: a lock deliberately held across a test body
+// (to force contention) is a legitimate pattern. This file also forces
+// the test-augmented variant of the package, exercising diagnostic
+// dedupe across unit variants.
+func TestHeldLockExempt(t *testing.T) {
+	s := &store{m: map[string]int{}}
+	s.mu.Lock()
+	if len(s.m) != 0 {
+		t.Fatal("not empty")
+	}
+	// Deliberately not unlocked: exempt in _test.go.
+}

@@ -1,0 +1,116 @@
+// Package spanbalance is golden-test input for the spanbalance
+// analyzer: every telemetry span started must be ended on all paths,
+// with discard/overwrite shape violations reported at their site.
+package spanbalance
+
+import "errors"
+
+var errEarly = errors.New("early")
+
+// tracer stands in for telemetry.Trace: span starts return an end func.
+type tracer struct{}
+
+func (t *tracer) StartSpan(name string) func()             { return func() {} }
+func (t *tracer) StartIteration(name string, i int) func() { return func() {} }
+
+func work()          {}
+func stop(i int) bool { return i > 1 }
+func finish(f func()) { f() }
+
+// goodLinear ends the span on the only path.
+func goodLinear(tr *tracer) {
+	end := tr.StartSpan("linear")
+	work()
+	end()
+}
+
+// goodDefer ends via defer, covering every return.
+func goodDefer(tr *tracer, fail bool) error {
+	end := tr.StartSpan("deferred")
+	defer end()
+	if fail {
+		return errEarly
+	}
+	return nil
+}
+
+// goodDeferInline starts and schedules the end in one statement.
+func goodDeferInline(tr *tracer) {
+	defer tr.StartSpan("inline")()
+	work()
+}
+
+// goodIteration balances a per-iteration span.
+func goodIteration(tr *tracer, n int) {
+	for i := 0; i < n; i++ {
+		endIt := tr.StartIteration("item", i)
+		work()
+		endIt()
+	}
+}
+
+// badEarlyReturn leaks the span on the error path.
+func badEarlyReturn(tr *tracer, fail bool) error {
+	end := tr.StartSpan("load") // want spanbalance "span \"load\" started here is not ended on every path out of the function"
+	if fail {
+		return errEarly
+	}
+	end()
+	return nil
+}
+
+// badDiscard drops the end func on the floor.
+func badDiscard(tr *tracer) {
+	tr.StartSpan("fire") // want spanbalance "the end func returned by the span start is discarded; the span \"fire\" is never ended"
+	work()
+}
+
+// badDiscardBlank assigns the end func to the blank identifier.
+func badDiscardBlank(tr *tracer) {
+	_ = tr.StartSpan("blank") // want spanbalance "the end func returned by the span start is discarded; the span \"blank\" is never ended"
+}
+
+// badOverwrite replaces a live end func, orphaning the first span.
+func badOverwrite(tr *tracer) {
+	end := tr.StartSpan("first")
+	end = tr.StartSpan("second") // want spanbalance "end func overwritten while its span \"first\""
+	end()
+}
+
+// goodHandoff returns the end func: the caller owns the obligation.
+func goodHandoff(tr *tracer) func() {
+	end := tr.StartSpan("handoff")
+	return end
+}
+
+// goodPassAlong hands the end func to another function.
+func goodPassAlong(tr *tracer) {
+	end := tr.StartSpan("pass")
+	finish(end)
+}
+
+// goodClosureCapture lets a closure own the end call.
+func goodClosureCapture(tr *tracer) func() {
+	end := tr.StartSpan("captured")
+	return func() {
+		work()
+		end()
+	}
+}
+
+// badLoopLeak breaks out of the loop with the iteration span open.
+func badLoopLeak(tr *tracer, n int) {
+	for i := 0; i < n; i++ {
+		end := tr.StartSpan("iter") // want spanbalance "span \"iter\" started here is not ended on every path out of the function"
+		if stop(i) {
+			break
+		}
+		end()
+	}
+}
+
+// suppressed shows a reasoned suppression silencing a discard.
+func suppressed(tr *tracer) {
+	//ndlint:ignore spanbalance fixture: demonstrates a reasoned suppression of a fire-and-forget span
+	tr.StartSpan("forgotten")
+}

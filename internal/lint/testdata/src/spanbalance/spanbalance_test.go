@@ -1,0 +1,15 @@
+package spanbalance
+
+import "testing"
+
+// Test files are exempt: a span leaked inside a test dies with the
+// test process. This file also forces the test-augmented variant of
+// the package, exercising diagnostic dedupe across unit variants.
+func TestSpanExempt(t *testing.T) {
+	tr := &tracer{}
+	end := tr.StartSpan("test-only")
+	if end == nil {
+		t.Fatal("no end func")
+	}
+	// Deliberately not ended: exempt in _test.go.
+}

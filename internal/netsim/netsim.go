@@ -539,6 +539,7 @@ func (n *Network) Restore(cp Checkpoint) {
 
 // forward computes the next hop from cur towards destination router dst,
 // or ok=false on a blackhole.
+//ndlint:hotpath
 func (n *Network) forward(cur, dst topology.RouterID) (topology.RouterID, bool) {
 	topo := n.topo
 	if topo.RouterAS(cur) == topo.RouterAS(dst) {
@@ -594,6 +595,7 @@ func (n *Network) Traceroute(src, dst topology.RouterID) *probe.Path {
 	return p
 }
 
+//ndlint:hotpath
 func (n *Network) hop(r topology.RouterID) probe.Hop {
 	rt := n.topo.Router(r)
 	return probe.Hop{Addr: rt.Addr, Router: r, AS: rt.AS}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"log/slog"
 	"net/http"
-	"sync/atomic"
 
 	"netdiag/internal/core"
 	"netdiag/internal/telemetry"
@@ -19,9 +18,10 @@ import (
 // error envelope — and never enters a response body.
 
 // access accumulates one request's observability record while the
-// handler runs. The handler goroutine owns every field except queueWait,
-// which the coalescing leader's job goroutine stores (the handler may
-// have already given up with 504 by then, hence the atomic).
+// handler runs. The handler goroutine owns every field: queueWait is
+// copied from the flight after <-flight.done (the close is the
+// happens-before edge), so no field needs an atomic. A handler that
+// gives up early (504) logs a deterministic zero wait.
 type access struct {
 	op          string
 	id          string
@@ -31,7 +31,7 @@ type access struct {
 	shard       string
 	coalesced   bool
 	leaderTrace string
-	queueWait   atomic.Int64 // nanoseconds from admission to job start
+	queueWait   int64 // nanoseconds from admission to job start
 }
 
 // accessKey carries the *access record through the request context so
@@ -127,7 +127,7 @@ func finishAccess(log *slog.Logger, ring *telemetry.TraceRing, slowNs int64,
 		"algorithm", acc.algo,
 		"status", status,
 		"coalesced", acc.coalesced,
-		"queue_wait_s", telemetry.Seconds(acc.queueWait.Load()),
+		"queue_wait_s", telemetry.Seconds(acc.queueWait),
 		"duration_s", rec.DurationS,
 	}
 	if acc.shard != "" {

@@ -101,11 +101,9 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	key := "batch|" + strings.Join(keys, "||")
 	tr := acc.tr
-	submitted := telemetry.Now()
 	endWait := tr.StartSpan("admission_wait")
 	f, leader, ok := s.flights.do(key, acc.id, s.queue.TrySubmit, func() ([]byte, error) {
 		endWait()
-		acc.queueWait.Store(telemetry.Since(submitted).Nanoseconds())
 		if s.draining.Load() {
 			return nil, errDraining
 		}
@@ -134,6 +132,7 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGatewayTimeout, core.ErrTimeout, "request context ended while waiting for diagnosis")
 		return
 	}
+	acc.queueWait = f.queueWaitNs
 	if f.err != nil {
 		status, code := statusFor(f.err)
 		writeError(w, status, code, f.err.Error())

@@ -17,6 +17,13 @@ type flight struct {
 	// computation; coalesced followers log it so one slow computation's
 	// access lines stitch together across its waiters.
 	leaderTrace string
+	// queueWaitNs is the admission→job-start wait measured by the group
+	// itself, so every handler gets it for free instead of each one
+	// wiring its own clock into the job closure. A plain field, not an
+	// atomic: the job goroutine writes it before close(done), and readers
+	// only look after <-done, so the channel close is the happens-before
+	// edge. A handler that gives up early (504) never reads it.
+	queueWaitNs int64
 }
 
 // flightGroup coalesces identical in-flight requests (singleflight): the
@@ -57,13 +64,16 @@ func (g *flightGroup) do(key, traceID string, submit func(func()) bool, compute 
 		return f, false, true
 	}
 	f = &flight{done: make(chan struct{}), leaderTrace: traceID}
+	submitted := telemetry.Now()
 	run := func() {
+		f.queueWaitNs = telemetry.Since(submitted).Nanoseconds()
 		f.body, f.err = compute()
 		g.mu.Lock()
 		delete(g.m, key)
 		g.mu.Unlock()
 		close(f.done)
 	}
+	//ndlint:ignore locksafe submit is pool.Queue.TrySubmit, non-blocking by contract; invoking it under g.mu is deliberate so a shed admission leaves no window for followers to attach to a flight that will never run
 	if !submit(run) {
 		g.mu.Unlock()
 		return nil, false, false

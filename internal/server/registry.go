@@ -93,14 +93,19 @@ func (r *Registry) Names() []string {
 }
 
 // Get returns the built scenario for name, invoking its builder on first
-// use. The build is memoized: a scenario is constructed at most once.
+// use. The build runs outside the registry lock — a heavyweight research
+// topology must not block Register/Names/Has for its whole construction —
+// so two concurrent first requests may both build; the first to store
+// wins and the loser adopts its instance, keeping the memoized scenario
+// unique.
 func (r *Registry) Get(name string) (*Scenario, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if s, ok := r.built[name]; ok {
+		r.mu.Unlock()
 		return s, nil
 	}
 	b, ok := r.builders[name]
+	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("server: unknown scenario %q", name)
 	}
@@ -110,6 +115,11 @@ func (r *Registry) Get(name string) (*Scenario, error) {
 	}
 	if err := validateScenario(name, s); err != nil {
 		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.built[name]; ok {
+		return prev, nil
 	}
 	r.built[name] = s
 	return s, nil

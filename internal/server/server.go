@@ -240,9 +240,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	switch {
 	case s.draining.Load():
+		//ndlint:ignore envelope /readyz is a plain-text probe endpoint for load balancers, not part of the v1 JSON surface; the envelope seam does not apply
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 	case !s.ready.Load():
+		//ndlint:ignore envelope /readyz is a plain-text probe endpoint for load balancers, not part of the v1 JSON surface; the envelope seam does not apply
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "warming")
 	default:
@@ -315,11 +317,9 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 
 	key := canonicalKey(req.Scenario, algo, req.FailLinks, req.FailRouters)
 	tr := acc.tr
-	submitted := telemetry.Now()
 	endWait := tr.StartSpan("admission_wait")
 	f, leader, ok := s.flights.do(key, acc.id, s.queue.TrySubmit, func() ([]byte, error) {
 		endWait()
-		acc.queueWait.Store(telemetry.Since(submitted).Nanoseconds())
 		// A job that reaches a worker only after the drain began is
 		// "queued work" in the shutdown contract: reject it. The hook
 		// below stands in for a long computation in tests.
@@ -356,6 +356,7 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGatewayTimeout, core.ErrTimeout, "request context ended while waiting for diagnosis")
 		return
 	}
+	acc.queueWait = f.queueWaitNs
 	if f.err != nil {
 		status, code := statusFor(f.err)
 		writeError(w, status, code, f.err.Error())

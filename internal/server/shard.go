@@ -167,11 +167,13 @@ func (f *Front) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	for i, base := range f.backends {
 		status, body, err := f.get(r, base, "/readyz")
 		if err != nil {
+			//ndlint:ignore envelope /readyz is a plain-text probe endpoint for load balancers, not part of the v1 JSON surface; the envelope seam does not apply
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintf(w, "shard %d: unreachable: %v\n", i, err)
 			return
 		}
 		if status != http.StatusOK {
+			//ndlint:ignore envelope /readyz is a plain-text probe endpoint for load balancers, not part of the v1 JSON surface; the envelope seam does not apply
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintf(w, "shard %d: %s", i, body)
 			return
