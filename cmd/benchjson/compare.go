@@ -113,6 +113,26 @@ func runCompare(oldPath, newPath string, thresholdPct float64, w io.Writer) (reg
 			"snapshot-load-speedup/"+ns.Scenario, prev.LoadSpeedup, ns.LoadSpeedup, -drop, mark)
 	}
 
+	// The stream section gates the delta store's pruning win: the
+	// dirty-pair fraction rising beyond the threshold (relative to the
+	// committed report) fails the comparison — a routing event starting
+	// to re-probe most of the mesh defeats the point of the overlay,
+	// even when every individual benchmark's ns/op still passes.
+	if oldRep.Stream != nil && newRep.Stream != nil &&
+		oldRep.Stream.DirtyPairFraction != nil && newRep.Stream.DirtyPairFraction != nil {
+		prev, cur := *oldRep.Stream.DirtyPairFraction, *newRep.Stream.DirtyPairFraction
+		if prev > 0 {
+			rise := (cur - prev) / prev * 100
+			mark := ""
+			if rise > thresholdPct {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-55s %14.4f %14.4f %+8.1f%%%s\n",
+				"stream-dirty-pair-fraction", prev, cur, rise, mark)
+		}
+	}
+
 	if regressions > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed beyond %.1f%%\n", regressions, thresholdPct)
 		return true, nil

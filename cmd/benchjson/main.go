@@ -80,6 +80,19 @@ type LintSection struct {
 	Findings    *float64 `json:"findings,omitempty"`
 }
 
+// StreamSection summarizes the streaming-plane benchmarks: NDJSON
+// ingest throughput of both feed endpoints, the cost and latency of a
+// full withdrawal -> correlation -> diagnosis cycle, and the fraction
+// of mesh pairs a routing event actually re-probed (the delta store's
+// pruning win — lower is better).
+type StreamSection struct {
+	IngestTraceRecordsPerSec float64  `json:"ingest_trace_records_per_sec"`
+	IngestBGPRecordsPerSec   float64  `json:"ingest_bgp_records_per_sec"`
+	EventLoopNsPerOp         float64  `json:"event_loop_ns_per_op,omitempty"`
+	EventLagNs               *float64 `json:"event_lag_ns,omitempty"`
+	DirtyPairFraction        *float64 `json:"dirty_pair_fraction,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Benchmarks  []Entry               `json:"benchmarks"`
@@ -87,6 +100,7 @@ type Report struct {
 	Incremental []IncrementalScenario `json:"incremental,omitempty"`
 	Snapshot    []SnapshotScenario    `json:"snapshot,omitempty"`
 	Lint        *LintSection          `json:"lint,omitempty"`
+	Stream      *StreamSection        `json:"stream,omitempty"`
 }
 
 // serverSection derives the server summary from the parsed entries; it is
@@ -246,6 +260,40 @@ func lintSection(entries []Entry) *LintSection {
 	return s
 }
 
+// streamSection derives the streaming-plane summary from the
+// BenchmarkIngestTraceroute / BenchmarkIngestBGP / BenchmarkEventLoop
+// entries; nil when either ingest benchmark is absent.
+func streamSection(entries []Entry) *StreamSection {
+	var trace, bgp, loop *Entry
+	for _, e := range bestEntries(entries) {
+		switch e.Name {
+		case "BenchmarkIngestTraceroute":
+			trace = e
+		case "BenchmarkIngestBGP":
+			bgp = e
+		case "BenchmarkEventLoop":
+			loop = e
+		}
+	}
+	if trace == nil || bgp == nil {
+		return nil
+	}
+	s := &StreamSection{
+		IngestTraceRecordsPerSec: trace.Extra["records/s"],
+		IngestBGPRecordsPerSec:   bgp.Extra["records/s"],
+	}
+	if loop != nil {
+		s.EventLoopNsPerOp = loop.NsPerOp
+		if lag, ok := loop.Extra["event-lag-ns"]; ok {
+			s.EventLagNs = &lag
+		}
+		if f, ok := loop.Extra["dirty-pair-fraction"]; ok {
+			s.DirtyPairFraction = &f
+		}
+	}
+	return s
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two reports: benchjson -compare [-threshold pct] old.json new.json")
@@ -342,6 +390,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	rep.Incremental = incrementalSection(rep.Benchmarks)
 	rep.Snapshot = snapshotSection(rep.Benchmarks)
 	rep.Lint = lintSection(rep.Benchmarks)
+	rep.Stream = streamSection(rep.Benchmarks)
 	return rep, sc.Err()
 }
 

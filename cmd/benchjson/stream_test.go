@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const streamOutput = `goos: linux
+pkg: netdiag/internal/stream
+BenchmarkIngestTraceroute 	       5	   5000000 ns/op	    200000 records/s
+BenchmarkIngestBGP        	       5	   2000000 ns/op	     16000 records/s
+BenchmarkEventLoop        	       5	   5500000 ns/op	         0.3333 dirty-pair-fraction	     40000 event-lag-ns
+PASS
+ok  	netdiag/internal/stream	0.1s
+`
+
+func TestParseStreamSection(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(streamOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Stream
+	if s == nil {
+		t.Fatal("stream section missing")
+	}
+	if s.IngestTraceRecordsPerSec != 200000 || s.IngestBGPRecordsPerSec != 16000 {
+		t.Fatalf("ingest throughput = %+v", s)
+	}
+	if s.EventLoopNsPerOp != 5500000 {
+		t.Fatalf("event loop ns/op = %v, want 5500000", s.EventLoopNsPerOp)
+	}
+	if s.EventLagNs == nil || *s.EventLagNs != 40000 {
+		t.Fatalf("event lag = %v, want 40000", s.EventLagNs)
+	}
+	if s.DirtyPairFraction == nil || *s.DirtyPairFraction != 0.3333 {
+		t.Fatalf("dirty-pair fraction = %v, want 0.3333", s.DirtyPairFraction)
+	}
+}
+
+func TestParseWithoutStreamBenchmarks(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(
+		"BenchmarkIngestTraceroute 	 5	 5000000 ns/op	 200000 records/s\nok  	netdiag/internal/stream	0.1s\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stream != nil {
+		t.Fatalf("stream section = %+v, want absent (no BGP counterpart)", rep.Stream)
+	}
+}
+
+// TestCompareGatesDirtyPairFraction pins the delta-store pruning gate: a
+// dirty-pair fraction that rises beyond the threshold fails the compare
+// even when every individual benchmark stays inside the ns/op threshold.
+func TestCompareGatesDirtyPairFraction(t *testing.T) {
+	dir := t.TempDir()
+	frac := func(v float64) *StreamSection {
+		return &StreamSection{IngestTraceRecordsPerSec: 1, IngestBGPRecordsPerSec: 1, DirtyPairFraction: &v}
+	}
+	oldPath := writeReport(t, dir, "old.json", &Report{Stream: frac(0.33)})
+	held := writeReport(t, dir, "held.json", &Report{Stream: frac(0.34)})
+	var buf bytes.Buffer
+	if regressed, err := runCompare(oldPath, held, 10, &buf); err != nil || regressed {
+		t.Fatalf("held fraction counted as regression (err %v):\n%s", err, buf.String())
+	}
+	grown := writeReport(t, dir, "grown.json", &Report{Stream: frac(0.85)})
+	buf.Reset()
+	regressed, err := runCompare(oldPath, grown, 10, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed || !strings.Contains(buf.String(), "stream-dirty-pair-fraction") ||
+		!strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("grown dirty-pair fraction not flagged:\n%s", buf.String())
+	}
+}

@@ -69,6 +69,9 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof for the telemetry registry on this address")
 		watch        = flag.String("watch", "", "scenario to measure continuously, diagnosing confirmed alarms through the queue")
 		watchEvery   = flag.Duration("watch-interval", 5*time.Second, "measurement round period for -watch")
+		ingest       = flag.Bool("ingest", false, "enable the streaming plane: POST /v1/ingest/{traceroute,bgp} and GET /v1/events")
+		eventWindow  = flag.Duration("event-window", 2*time.Second, "record-time correlation window bucketing streamed observations into one event")
+		eventIdle    = flag.Duration("event-idle-close", 5*time.Second, "record-time idle gap after which a streaming event closes and is diagnosed")
 		shards       = flag.String("shards", "", "run as the fleet front: comma-separated worker base URLs, index = shard id (disables local diagnosis)")
 		shardOf      = flag.String("shard-of", "", "run as fleet worker i of N (\"i/N\"): register only the scenarios shard i owns")
 		snapshotDir  = flag.String("snapshot-dir", "", "persist converged scenarios here and recover them at warm-up")
@@ -110,6 +113,9 @@ func main() {
 		Logger:         logger,
 		SlowThreshold:  time.Duration(*slowMS) * time.Millisecond,
 		TraceBuffer:    *traceBuffer,
+		Ingest:         *ingest,
+		EventWindow:    *eventWindow,
+		EventIdleClose: *eventIdle,
 	})
 
 	if *debugAddr != "" {
@@ -136,7 +142,11 @@ func main() {
 		if !reg.Has(*watch) {
 			fatal(fmt.Errorf("-watch scenario %q is not registered", *watch))
 		}
-		go runWatch(ctx, srv, tele, logger, *watch, *watchEvery)
+		if *ingest {
+			go runWatchPull(ctx, srv, tele, logger, *watch, *watchEvery)
+		} else {
+			go runWatch(ctx, srv, tele, logger, *watch, *watchEvery)
+		}
 	}
 
 	if err := srv.Serve(ctx, ln); err != nil {
@@ -286,6 +296,42 @@ func runWatch(ctx context.Context, srv *server.Server, tele *telemetry.Registry,
 		}
 	}()
 	if err := w.Run(ctx, rounds, srv.AlarmSink(name, netdiag.NDEdgeAlgo)); err != nil && ctx.Err() == nil {
+		logger.Warn("watch loop ended", "err", err)
+	}
+}
+
+// runWatchPull is the -ingest variant of runWatch: instead of
+// re-measuring the full mesh every tick, the watcher pulls the streaming
+// plane's delta overlay, so a quiet tick runs zero traceroutes and only
+// pairs dirtied by ingested routing events are ever re-probed.
+func runWatchPull(ctx context.Context, srv *server.Server, tele *telemetry.Registry,
+	logger *slog.Logger, name string, every time.Duration) {
+	proc, err := srv.StreamProcessor(ctx, name)
+	if err != nil {
+		logger.Warn("watch could not open stream processor", "scenario", name, "err", err)
+		return
+	}
+	w := monitor.NewWatcher(monitor.Config{Telemetry: tele})
+	ticks := make(chan struct{})
+	go func() {
+		defer close(ticks)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			select {
+			case ticks <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	source := func(context.Context) (*probe.Mesh, error) { return proc.CurrentMesh(), nil }
+	if err := w.RunPull(ctx, ticks, source, srv.AlarmSink(name, netdiag.NDEdgeAlgo)); err != nil && ctx.Err() == nil {
 		logger.Warn("watch loop ended", "err", err)
 	}
 }

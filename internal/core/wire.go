@@ -83,6 +83,12 @@ const (
 	ErrBadGateway = "bad_gateway" // shard front could not reach a backend
 )
 
+// MaxBatchItems caps the items of one POST /v1/diagnose/batch request.
+// It is part of the v1 wire contract: the 400 envelope a too-large batch
+// receives names this limit, so clients can split deterministically
+// instead of probing for it.
+const MaxBatchItems = 64
+
 // WireError is the stable JSON error form of the v1 HTTP surface. Every
 // error response is the envelope {"error": WireError}; retryable statuses
 // (429, 502, 503) also carry RetryAfterS, mirroring the Retry-After header
@@ -91,6 +97,64 @@ type WireError struct {
 	Code        string `json:"code"`
 	Message     string `json:"message"`
 	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// WireObservation is one contributing observation of a streaming event:
+// an ingested record that indicated trouble (a failing streamed
+// traceroute, a withdrawal/announcement feed record). Key is the
+// record's stable journal key, so replays list identical observations.
+type WireObservation struct {
+	Key          string   `json:"key"`
+	TS           int64    `json:"ts"`
+	Kind         string   `json:"kind"`
+	Pair         string   `json:"pair,omitempty"`
+	Detail       string   `json:"detail,omitempty"`
+	SuspectLinks []string `json:"suspect_links,omitempty"`
+	SuspectASes  []int    `json:"suspect_ases,omitempty"`
+}
+
+// Streaming event lifecycle states, as emitted on GET /v1/events.
+const (
+	EventOpen       = "open"       // still accepting correlated observations
+	EventDiagnosing = "diagnosing" // closed, diagnosis in flight
+	EventPending    = "pending"    // closed, diagnosis shed; retried on the next sweep or listing
+	EventDiagnosed  = "diagnosed"  // closed with a hypothesis
+	EventFailed     = "failed"     // closed, diagnosis failed terminally
+)
+
+// WireEvent is the stable JSON form of one correlated network event on
+// the GET /v1/events surface. TraceID equals the event ID (a digest of
+// the observation keys), so the body is byte-identical with tracing on
+// or off and across replay parallelism.
+type WireEvent struct {
+	ID           string            `json:"id"`
+	Scenario     string            `json:"scenario"`
+	Status       string            `json:"status"`
+	FirstTS      int64             `json:"first_ts"`
+	LastTS       int64             `json:"last_ts"`
+	TraceID      string            `json:"trace_id"`
+	Observations []WireObservation `json:"observations"`
+	Hypothesis   *WireResult       `json:"hypothesis,omitempty"`
+	Error        string            `json:"error,omitempty"`
+}
+
+// EncodeWireEvents writes the canonical rendering of an event list: the
+// same two-space-indented JSON + trailing newline convention as
+// WireResult.Encode, so replayed feeds diff byte-for-byte.
+func EncodeWireEvents(out io.Writer, evs []*WireEvent) error {
+	if evs == nil {
+		evs = []*WireEvent{}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(evs)
+}
+
+// EncodeWireEvent writes one event in the same canonical rendering.
+func (e *WireEvent) Encode(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
 }
 
 // Envelope renders the single-line {"error":{...}} form with a trailing

@@ -9,9 +9,9 @@ import (
 	"strings"
 )
 
-// Envelope guards the v1 error envelope seam of the server package:
-// every error response must flow through writeError so clients always
-// see the {"error": {...}} shape with a request id. Outside the seam it
+// Envelope guards the v1 error envelope seam of the server and stream
+// packages: every error response must flow through writeError so
+// clients always see the {"error": {...}} shape with a request id. Outside the seam it
 // reports http.Error calls, WriteHeader with a constant status >= 400,
 // and hand-rolled error JSON (string literals containing `"error"`
 // written straight to a ResponseWriter).
@@ -24,12 +24,12 @@ import (
 // statically.
 var Envelope = &Analyzer{
 	Name: "envelope",
-	Doc:  "server error responses go through the writeError envelope seam; no double status writes on any path",
+	Doc:  "server/stream error responses go through the writeError envelope seam; no double status writes on any path",
 	Run:  runEnvelope,
 }
 
 func runEnvelope(p *Pass) {
-	if p.Pkg.Name() != "server" {
+	if p.Pkg.Name() != "server" && p.Pkg.Name() != "stream" {
 		return
 	}
 	// Seam checks: shape-level, anywhere in the package outside the seam

@@ -80,6 +80,8 @@ func TestGolden(t *testing.T) {
 		{"maporder", MapOrder},
 		{"nilhandle", NilHandle},
 		{"spanbalance", SpanBalance},
+		{"streamenvelope", Envelope},
+		{"streamingest", TraceCarry},
 		{"tracecarry", TraceCarry},
 		{"wallclock", WallClock},
 	}

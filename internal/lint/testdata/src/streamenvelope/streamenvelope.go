@@ -1,0 +1,40 @@
+// Package stream (fixture dir "streamenvelope") is golden-test input
+// for the envelope analyzer's streaming-plane scope: the ingest and
+// event endpoints answer errors in the same v1 envelope as the server
+// package, through a stream-local writeError seam the analyzer
+// recognizes by name.
+package stream
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// writeError is the stream package's leg of the envelope seam.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":{"code":%q,"message":%q}}`, code, msg)
+}
+
+// goodIngest answers a bad chunk through the seam and returns.
+func goodIngest(w http.ResponseWriter, ok bool) {
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad chunk")
+		return
+	}
+	w.Write([]byte(`{"accepted":1,"rejected":0}`))
+}
+
+// badIngestHTTPError bypasses the envelope with the stdlib helper.
+func badIngestHTTPError(w http.ResponseWriter) {
+	http.Error(w, "unknown scenario", http.StatusNotFound) // want envelope "http.Error bypasses the v1 error envelope"
+}
+
+// badIngestMissingReturn keeps writing after the seam answered: the
+// classic missing-return double status write.
+func badIngestMissingReturn(w http.ResponseWriter, ok bool) {
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "draining", "draining")
+	}
+	w.WriteHeader(http.StatusOK) // want envelope "HTTP status already written on this path"
+}

@@ -1,0 +1,49 @@
+// Package stream is golden-test input for the tracecarry analyzer's
+// streaming-plane scope: the analyzer gates on the package *name*
+// stream (alongside server), because the streaming diagnoser hands
+// closed events to the same admission queue as HTTP requests and owes
+// them the same trace plumbing. The fixture models an ingest-triggered
+// diagnosis hop without importing the service packages.
+package stream
+
+import "context"
+
+// Trace stands in for the telemetry request trace.
+type Trace struct{}
+
+// ContextWithTrace mirrors telemetry.ContextWithTrace.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context { return ctx }
+
+// TraceFromContext mirrors telemetry.TraceFromContext.
+func TraceFromContext(ctx context.Context) *Trace { return nil }
+
+// queue mirrors pool.Queue.
+type queue struct{}
+
+// TrySubmit mirrors the admission seam the analyzer keys on.
+func (q *queue) TrySubmit(fn func()) bool { fn(); return true }
+
+type processor struct{ q *queue }
+
+// goodDiagnose forwards a closed event to the queue with the event's
+// trace attached to the job context: legal.
+func (p *processor) goodDiagnose(ctx context.Context, tr *Trace) {
+	p.q.TrySubmit(func() {
+		_ = ContextWithTrace(ctx, tr)
+	})
+}
+
+// badIngestDiagnose is the ingest handler that drops the trace: it
+// enqueues the event's diagnosis but never moves the trace across the
+// worker hop, so the diagnosis spans land nowhere.
+func (p *processor) badIngestDiagnose(ctx context.Context) {
+	p.q.TrySubmit(func() { // want tracecarry "badIngestDiagnose enqueues work via TrySubmit without carrying the request trace"
+		_ = ctx.Err()
+	})
+}
+
+// sweepOnly never enqueues, so it owes no trace plumbing.
+func (p *processor) sweepOnly(ctx context.Context) {
+	_ = TraceFromContext
+	_ = ctx.Err()
+}

@@ -18,18 +18,19 @@ import (
 // without either call silently drops the trace: the job's spans land
 // nowhere and /debug/traces shows an empty request.
 //
-// The check is scoped to packages named "server" — the only place the
-// admission queue meets request handling — and matches the plumbing
-// functions by name, so the fixture can model the contract without
-// importing the real telemetry package.
+// The check is scoped to packages named "server" and "stream" — the two
+// places where request or event handling meets the admission queue (the
+// streaming plane's diagnoser hands closed events to the same queue) —
+// and matches the plumbing functions by name, so the fixture can model
+// the contract without importing the real telemetry package.
 var TraceCarry = &Analyzer{
 	Name: "tracecarry",
-	Doc:  "server functions that enqueue work via TrySubmit must carry the request trace (ContextWithTrace/TraceFromContext)",
+	Doc:  "server/stream functions that enqueue work via TrySubmit must carry the request trace (ContextWithTrace/TraceFromContext)",
 	Run:  runTraceCarry,
 }
 
 func runTraceCarry(p *Pass) {
-	if p.Pkg.Name() != "server" {
+	if p.Pkg.Name() != "server" && p.Pkg.Name() != "stream" {
 		return
 	}
 	for _, f := range p.Files {

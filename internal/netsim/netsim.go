@@ -440,7 +440,12 @@ func (n *Network) Reconverge() error {
 // untouched. The result is route-for-route identical to a cold
 // reconvergence — see WithIncrementalReconvergence to force the cold path.
 func (n *Network) ReconvergeCtx(ctx context.Context) error {
-	d := n.computeDelta()
+	return n.reconvergeCtx(ctx, n.computeDelta())
+}
+
+// reconvergeCtx applies a precomputed delta (nil forces the cold path).
+// Split out so ReconvergeDirtyCtx can inspect the delta it converged with.
+func (n *Network) reconvergeCtx(ctx context.Context, d *reconvergeDelta) error {
 	isUp := n.linkUpFn
 	start := n.met.phaseStart()
 	if d == nil {

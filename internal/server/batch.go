@@ -15,8 +15,10 @@ import (
 )
 
 // maxBatchItems bounds one batch request; it exists so a single POST
-// cannot monopolize a worker for arbitrarily long.
-const maxBatchItems = 64
+// cannot monopolize a worker for arbitrarily long. The value is part of
+// the v1 wire contract, so it lives in core next to the other wire
+// constants.
+const maxBatchItems = core.MaxBatchItems
 
 // BatchRequest is the POST /v1/diagnose/batch body: one scenario and
 // algorithm, many failure sets. The whole batch runs as a single queued

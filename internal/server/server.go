@@ -15,6 +15,7 @@ import (
 	"netdiag/internal/core"
 	"netdiag/internal/pool"
 	"netdiag/internal/probe"
+	"netdiag/internal/stream"
 	"netdiag/internal/telemetry"
 	"netdiag/internal/topology"
 )
@@ -66,6 +67,18 @@ type Config struct {
 	// TraceBuffer sizes the /debug/traces ring of completed request
 	// traces. Zero selects 64.
 	TraceBuffer int
+	// Ingest enables the streaming diagnosis plane: the POST
+	// /v1/ingest/* endpoints, the per-scenario delta mesh processors and
+	// the GET /v1/events surface.
+	Ingest bool
+	// EventWindow is the streaming correlation window in record time
+	// (an observation joins an event when it lands within this span of
+	// the event's last observation and shares a suspect link or AS).
+	// Zero selects 2s.
+	EventWindow time.Duration
+	// EventIdleClose closes a streaming event once record time advances
+	// this far past its last observation. Zero selects 5s.
+	EventIdleClose time.Duration
 }
 
 // Server is the long-running diagnosis service behind ndserve. It owns
@@ -85,6 +98,11 @@ type Server struct {
 	traces         *telemetry.TraceRing
 	slowNs         int64
 	mux            *http.ServeMux
+
+	// Streaming plane (nil unless Config.Ingest).
+	streamSvc        *stream.Service
+	eventWindowMS    int64
+	eventIdleCloseMS int64
 
 	// lifeCtx scopes every computation to the server's lifetime, so an
 	// individual client disconnect never cancels a coalesced computation
@@ -149,6 +167,15 @@ func New(cfg Config) *Server {
 	mux.Handle("POST /v1/diagnose/batch", s.observe("batch", true, s.handleDiagnoseBatch))
 	mux.Handle("GET /metrics", telemetry.PromHandler(cfg.Telemetry))
 	mux.Handle("GET /debug/traces", s.traces)
+	if cfg.Ingest {
+		s.eventWindowMS = cfg.EventWindow.Milliseconds()
+		s.eventIdleCloseMS = cfg.EventIdleClose.Milliseconds()
+		s.streamSvc = s.newStreamService()
+		mux.Handle("POST /v1/ingest/traceroute", s.observe("ingest_traceroute", false, s.streamSvc.HandleIngestTraceroute))
+		mux.Handle("POST /v1/ingest/bgp", s.observe("ingest_bgp", false, s.streamSvc.HandleIngestBGP))
+		mux.Handle("GET /v1/events", s.observe("events", false, s.streamSvc.HandleEvents))
+		mux.Handle("GET /v1/events/{id}", s.observe("event", false, s.streamSvc.HandleEvent))
+	}
 	s.mux = mux
 	return s
 }

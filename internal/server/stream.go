@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"netdiag"
+	"netdiag/internal/monitor"
+	"netdiag/internal/probe"
+	"netdiag/internal/stream"
+	"netdiag/internal/telemetry"
+)
+
+// Streaming-plane wiring: the stream.Service owns the per-scenario
+// processors (journal, delta overlay, event correlation); the server
+// contributes the warm snapshots they fork from and the diagnosis
+// callback that routes closed events through the same admission queue,
+// coalescing group and telemetry as the HTTP diagnosis requests.
+
+// newStreamService builds the streaming facade over this server's
+// snapshot store.
+func (s *Server) newStreamService() *stream.Service {
+	return stream.NewService(stream.ServiceConfig{
+		Open:     s.openStreamProcessor,
+		Known:    s.reg.Has,
+		Draining: s.draining.Load,
+		Logger:   s.log,
+	})
+}
+
+// openStreamProcessor converges (or reuses) the scenario snapshot and
+// builds its streaming processor over a private fork.
+func (s *Server) openStreamProcessor(ctx context.Context, name string) (*stream.Processor, error) {
+	snap, err := s.store.Get(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return stream.NewProcessor(stream.Config{
+		View: stream.View{
+			Scenario: name,
+			Topo:     snap.Scenario.Topo,
+			Sensors:  snap.Scenario.Sensors,
+			Prefixes: snap.Prefixes,
+			Baseline: snap.BeforeMesh,
+			Net:      snap.Net.Fork(),
+			Router:   snap.Router,
+			Workers:  s.par,
+		},
+		WindowMS:    s.eventWindowMS,
+		IdleCloseMS: s.eventIdleCloseMS,
+		Diagnose:    s.streamDiagnoser(name),
+		Life:        s.lifeCtx,
+		Telemetry:   s.tele,
+		Logger:      s.log,
+	}), nil
+}
+
+// streamDiagnoser adapts one scenario's closed events onto the
+// queue/flight diagnosis path. The flight key is the event ID, so a
+// re-closed event (journal reset) coalesces with its own in-flight
+// diagnosis instead of recomputing; the event ID is also the trace ID,
+// keeping replayed runs byte-identical with tracing on or off. A shed
+// reports retry=true and the processor parks the event as pending.
+func (s *Server) streamDiagnoser(scenarioName string) stream.Diagnoser {
+	algo := netdiag.NDEdgeAlgo
+	return func(eventID string, tminus, tplus *probe.Mesh) ([]byte, bool, error) {
+		if s.draining.Load() {
+			return nil, false, errDraining
+		}
+		tr := telemetry.NewRequestTrace(eventID)
+		key := "event|" + scenarioName + "|" + algo.Slug() + "|" + eventID
+		f, _, ok := s.flights.do(key, tr.ID(), s.queue.TrySubmit, func() ([]byte, error) {
+			if s.draining.Load() {
+				return nil, errDraining
+			}
+			if s.testJobStart != nil {
+				s.testJobStart()
+			}
+			ctx, cancel := context.WithTimeout(s.lifeCtx, s.requestTimeout)
+			defer cancel()
+			return s.computeAlarm(telemetry.ContextWithTrace(ctx, tr), scenarioName, algo,
+				&monitor.Alarm{Baseline: tminus, Current: tplus})
+		})
+		if !ok {
+			s.shed.Inc()
+			return nil, true, nil
+		}
+		select {
+		case <-f.done:
+			return f.body, false, f.err
+		case <-s.lifeCtx.Done():
+			return nil, false, s.lifeCtx.Err()
+		}
+	}
+}
+
+// StreamProcessor returns (building on first use) the streaming
+// processor for a registered scenario. It errors when the server was
+// built without Config.Ingest.
+func (s *Server) StreamProcessor(ctx context.Context, name string) (*stream.Processor, error) {
+	if s.streamSvc == nil {
+		return nil, fmt.Errorf("server: streaming ingestion disabled (Config.Ingest)")
+	}
+	if !s.reg.Has(name) {
+		return nil, fmt.Errorf("server: unknown scenario %q", name)
+	}
+	return s.streamSvc.Processor(ctx, name)
+}

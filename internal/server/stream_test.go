@@ -1,0 +1,368 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netdiag"
+	"netdiag/internal/core"
+	"netdiag/internal/monitor"
+	"netdiag/internal/probe"
+	"netdiag/internal/telemetry"
+)
+
+// ingestTask is one POST against an ingest endpoint: a line-aligned
+// chunk of the committed feed. Trace chunks keep each probe's lines
+// together (a probe must complete within one body); BGP records travel
+// one per request so the parallel replay exercises maximal reordering.
+type ingestTask struct {
+	path string
+	body string
+}
+
+// streamFeedTasks loads the committed fig2 feed and splits it into the
+// per-request chunks the replay posts concurrently.
+func streamFeedTasks(t *testing.T) []ingestTask {
+	t.Helper()
+	var tasks []ingestTask
+
+	bgpRaw, err := os.ReadFile(filepath.Join("testdata", "streamfeed", "bgp.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(bgpRaw)), "\n") {
+		tasks = append(tasks, ingestTask{path: "/v1/ingest/bgp", body: line + "\n"})
+	}
+
+	traceRaw, err := os.ReadFile(filepath.Join("testdata", "streamfeed", "trace.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probeID string
+	var chunk []string
+	flush := func() {
+		if len(chunk) > 0 {
+			tasks = append(tasks, ingestTask{path: "/v1/ingest/traceroute", body: strings.Join(chunk, "\n") + "\n"})
+			chunk = nil
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(traceRaw)), "\n") {
+		var hdr struct {
+			Probe string `json:"probe"`
+		}
+		if err := json.Unmarshal([]byte(line), &hdr); err != nil {
+			t.Fatalf("feed line %q: %v", line, err)
+		}
+		if hdr.Probe != probeID {
+			flush()
+			probeID = hdr.Probe
+		}
+		chunk = append(chunk, line)
+	}
+	flush()
+	return tasks
+}
+
+// pollEvents polls GET /v1/events?scenario= until every event has
+// reached a terminal status, returning the final body verbatim.
+func pollEvents(t *testing.T, h http.Handler, scenario string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		w := get(t, h, "/v1/events?scenario="+scenario)
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET /v1/events = %d: %s", w.Code, w.Body.String())
+		}
+		var evs []core.WireEvent
+		if err := json.Unmarshal(w.Body.Bytes(), &evs); err != nil {
+			t.Fatalf("decoding events: %v", err)
+		}
+		settled := len(evs) > 0
+		for _, ev := range evs {
+			if ev.Status != core.EventDiagnosed && ev.Status != core.EventFailed {
+				settled = false
+			}
+		}
+		if settled {
+			return w.Body.Bytes()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("events never settled: %s", w.Body.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// runStreamReplay replays the committed feed against a fresh ingest
+// server at the given POST parallelism, with or without client trace
+// IDs, and returns the settled /v1/events body.
+func runStreamReplay(t *testing.T, par int, withTrace bool) []byte {
+	t.Helper()
+	s := New(Config{Telemetry: telemetry.New(), Ingest: true})
+	defer s.Close()
+	h := s.Handler()
+
+	tasks := streamFeedTasks(t)
+	// Deterministically shuffled per configuration so different runs
+	// arrive in genuinely different orders.
+	rnd := rand.New(rand.NewSource(int64(par)*7919 + 17))
+	rnd.Shuffle(len(tasks), func(i, j int) { tasks[i], tasks[j] = tasks[j], tasks[i] })
+
+	ch := make(chan ingestTask)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			seq := 0
+			for tk := range ch {
+				req := httptest.NewRequest(http.MethodPost, tk.path+"?scenario=fig2", strings.NewReader(tk.body))
+				if withTrace {
+					req.Header.Set(core.TraceHeader, fmt.Sprintf("replay-%d-%d-%d", par, worker, seq))
+				}
+				seq++
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				var resp struct {
+					Accepted int    `json:"accepted"`
+					Rejected int    `json:"rejected"`
+					FirstErr string `json:"first_error"`
+				}
+				err := json.Unmarshal(w.Body.Bytes(), &resp)
+				mu.Lock()
+				switch {
+				case w.Code != http.StatusOK:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("POST %s = %d: %s", tk.path, w.Code, w.Body.String())
+					}
+				case err != nil:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("decoding ingest response: %v", err)
+					}
+				case resp.Rejected != 0:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("feed chunk rejected: %s", resp.FirstErr)
+					}
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	for _, tk := range tasks {
+		ch <- tk
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	return pollEvents(t, h, "fig2")
+}
+
+// TestStreamReplayDeterminism is the acceptance check for the streaming
+// plane: the committed feed replayed at parallelism 1 and 8, with
+// tracing off and on, must yield byte-identical /v1/events bodies —
+// the journal's (ts, key) order, not arrival order, defines the run.
+func TestStreamReplayDeterminism(t *testing.T) {
+	seq := runStreamReplay(t, 1, false)
+	par := runStreamReplay(t, 8, false)
+	traced := runStreamReplay(t, 8, true)
+
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel replay diverged from sequential:\n--- par=1 ---\n%s\n--- par=8 ---\n%s", seq, par)
+	}
+	if !bytes.Equal(seq, traced) {
+		t.Fatalf("traced replay diverged from untraced:\n--- off ---\n%s\n--- on ---\n%s", seq, traced)
+	}
+
+	var evs []core.WireEvent
+	if err := json.Unmarshal(seq, &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1 correlated event:\n%s", len(evs), seq)
+	}
+	ev := evs[0]
+	if ev.Status != core.EventDiagnosed {
+		t.Fatalf("event status = %q, want diagnosed (error %q)", ev.Status, ev.Error)
+	}
+	if len(ev.Observations) != 4 {
+		t.Fatalf("observations = %d, want 4 (2 withdrawals + 2 failing traces)", len(ev.Observations))
+	}
+	if ev.TraceID != ev.ID || !telemetry.ValidTraceID(ev.TraceID) {
+		t.Fatalf("trace id %q should equal the event id %q and be valid", ev.TraceID, ev.ID)
+	}
+	if ev.Hypothesis == nil {
+		t.Fatal("diagnosed event carries no hypothesis")
+	}
+}
+
+// TestStreamQuietTickNoReprobe is the regression test for the -watch
+// fix: with the watcher pulling the streaming overlay, a tick with no
+// intervening routing event must not trace a single pair — the old
+// timer loop re-measured the full mesh every round.
+func TestStreamQuietTickNoReprobe(t *testing.T) {
+	reg := telemetry.New()
+	s := New(Config{Telemetry: reg, Ingest: true})
+	defer s.Close()
+
+	proc, err := s.StreamProcessor(context.Background(), "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pairsTraced := reg.Counter("probe.pairs_traced")
+	reprobed := reg.Counter("stream.pairs_reprobed")
+	baseTraced, baseReprobed := pairsTraced.Value(), reprobed.Value()
+
+	w := monitor.NewWatcher(monitor.Config{Confirm: 2})
+	ticks := make(chan struct{})
+	alarms := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- w.RunPull(context.Background(), ticks,
+			func(context.Context) (*probe.Mesh, error) { return proc.CurrentMesh(), nil },
+			func(context.Context, *monitor.Alarm) { alarms++ })
+	}()
+	for i := 0; i < 5; i++ {
+		ticks <- struct{}{}
+	}
+	close(ticks)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	if got := pairsTraced.Value(); got != baseTraced {
+		t.Fatalf("quiet ticks traced %d pairs, want 0", got-baseTraced)
+	}
+	if got := reprobed.Value(); got != baseReprobed {
+		t.Fatalf("quiet ticks re-probed %d pairs, want 0", got-baseReprobed)
+	}
+	if alarms != 0 {
+		t.Fatalf("quiet ticks raised %d alarms, want 0", alarms)
+	}
+}
+
+// TestStreamIngestAlarmPath covers the live half of the -watch fix: a
+// withdrawal arriving over ingest dirties the overlay, and the pulled
+// watcher confirms and diagnoses the resulting alarm through the same
+// sink as the timer loop — while re-probing only the dirtied pairs.
+func TestStreamIngestAlarmPath(t *testing.T) {
+	reg := telemetry.New()
+	s := New(Config{Telemetry: reg, Ingest: true})
+	defer s.Close()
+	h := s.Handler()
+
+	proc, err := s.StreamProcessor(context.Background(), "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pairsTraced := reg.Counter("probe.pairs_traced")
+	baseTraced := pairsTraced.Value()
+	diagnosed := reg.Counter("server.alarms_diagnosed")
+
+	w := monitor.NewWatcher(monitor.Config{Confirm: 2})
+	source := func(context.Context) (*probe.Mesh, error) { return proc.CurrentMesh(), nil }
+	sink := s.AlarmSink("fig2", netdiag.NDEdgeAlgo)
+	runTicks := func(n int) {
+		t.Helper()
+		ticks := make(chan struct{})
+		done := make(chan error, 1)
+		go func() { done <- w.RunPull(context.Background(), ticks, source, sink) }()
+		for i := 0; i < n; i++ {
+			ticks <- struct{}{}
+		}
+		close(ticks)
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One healthy tick seeds the detector's baseline.
+	runTicks(1)
+
+	// Disconnect s3: both y3 links go, dirtying only the s3 pairs.
+	for _, line := range []string{
+		`{"ts":1000,"type":"withdrawal","a":"y3","b":"y4"}`,
+		`{"ts":1200,"type":"withdrawal","a":"y2","b":"y3"}`,
+	} {
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest/bgp?scenario=fig2", strings.NewReader(line+"\n"))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("ingest = %d: %s", w.Code, w.Body.String())
+		}
+	}
+
+	// Two failing ticks confirm the streak and raise exactly one alarm.
+	runTicks(2)
+
+	if got := diagnosed.Value(); got != 1 {
+		t.Fatalf("alarms diagnosed = %d, want 1", got)
+	}
+	// The two withdrawals dirtied at most the four s3 pairs twice over;
+	// the ticks themselves trace nothing (the overlay is pull-only), and
+	// a single full re-mesh would have traced all 6 pairs.
+	if delta := pairsTraced.Value() - baseTraced; delta == 0 || delta > 8 {
+		t.Fatalf("ingest re-traced %d pairs, want >0 and at most the dirtied pairs", delta)
+	}
+}
+
+// TestStreamIngestErrors pins the v1 error envelope on the ingest
+// surface: missing and unknown scenarios fail fast without converging
+// anything.
+func TestStreamIngestErrors(t *testing.T) {
+	s := New(Config{Telemetry: telemetry.New(), Ingest: true})
+	defer s.Close()
+	h := s.Handler()
+
+	cases := []struct {
+		path string
+		code int
+		want string
+	}{
+		{"/v1/ingest/bgp", http.StatusBadRequest, core.ErrBadRequest},
+		{"/v1/ingest/traceroute?scenario=nope", http.StatusNotFound, core.ErrNotFound},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(http.MethodPost, c.path, strings.NewReader(`{}`))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != c.code {
+			t.Fatalf("POST %s = %d, want %d: %s", c.path, w.Code, c.code, w.Body.String())
+		}
+		var env struct {
+			Error core.WireError `json:"error"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+			t.Fatalf("POST %s: decoding envelope: %v", c.path, err)
+		}
+		if env.Error.Code != c.want {
+			t.Fatalf("POST %s error code = %q, want %q", c.path, env.Error.Code, c.want)
+		}
+	}
+
+	// Ingest endpoints are absent entirely when Config.Ingest is off.
+	plain := New(Config{Telemetry: telemetry.New()})
+	defer plain.Close()
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest/bgp?scenario=fig2", strings.NewReader("{}\n"))
+	w := httptest.NewRecorder()
+	plain.Handler().ServeHTTP(w, req)
+	if w.Code == http.StatusOK {
+		t.Fatal("ingest should not be routed without Config.Ingest")
+	}
+}

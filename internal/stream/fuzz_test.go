@@ -1,0 +1,82 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzIngestDecode drives both NDJSON line decoders with arbitrary
+// bytes. Three properties are enforced: no input may panic (malformed
+// lines must surface as errors), accept/reject is deterministic
+// (decoding the same bytes twice agrees, records included), and any
+// accepted record survives a marshal/decode round trip — the decoders
+// define a canonical wire form, not a lossy one.
+func FuzzIngestDecode(f *testing.F) {
+	f.Add([]byte(`{"probe":"p1","ts":1000,"src":"s1","dst":"s2","hop":{"ttl":1,"addr":"10.0.0.1","rtt_ms":1.5,"as":65001}}`))
+	f.Add([]byte(`{"probe":"p1","ts":1000,"src":"s1","dst":"s2","done":true,"ok":false}`))
+	f.Add([]byte(`{"ts":2000,"type":"withdrawal","a":"r1","b":"r2"}`))
+	f.Add([]byte(`{"ts":2000,"type":"announcement","a":"r1","b":"r2","prefix":"10.0.0.0/8"}`))
+	f.Add([]byte(`{"ts":3000,"type":"keepalive"}`))
+	f.Add([]byte(`{"probe":"","ts":-5}`))
+	f.Add([]byte(`{"ts":1,"type":"withdrawal","a":"r1","b":"r2"} trailing`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr1, terr1 := DecodeTraceLine(data)
+		tr2, terr2 := DecodeTraceLine(data)
+		if (terr1 == nil) != (terr2 == nil) || !reflect.DeepEqual(tr1, tr2) {
+			t.Fatalf("DecodeTraceLine not deterministic on %q: (%v,%v) vs (%v,%v)", data, tr1, terr1, tr2, terr2)
+		}
+		if terr1 == nil {
+			roundTrip(t, "trace", tr1, func(b []byte) (any, error) { return DecodeTraceLine(b) })
+		}
+
+		br1, berr1 := DecodeBGPLine(data)
+		br2, berr2 := DecodeBGPLine(data)
+		if (berr1 == nil) != (berr2 == nil) || !reflect.DeepEqual(br1, br2) {
+			t.Fatalf("DecodeBGPLine not deterministic on %q: (%v,%v) vs (%v,%v)", data, br1, berr1, br2, berr2)
+		}
+		if berr1 == nil {
+			roundTrip(t, "bgp", br1, func(b []byte) (any, error) { return DecodeBGPLine(b) })
+		}
+	})
+}
+
+// roundTrip re-marshals an accepted record and decodes it again; the
+// result must be accepted and equal to the original.
+func roundTrip(t *testing.T, kind string, rec any, decode func([]byte) (any, error)) {
+	t.Helper()
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatalf("%s: re-marshal of accepted record failed: %v", kind, err)
+	}
+	back, err := decode(enc)
+	if err != nil {
+		t.Fatalf("%s: canonical form %s rejected: %v", kind, enc, err)
+	}
+	if !reflect.DeepEqual(back, rec) {
+		t.Fatalf("%s: round trip drifted: %#v -> %s -> %#v", kind, rec, enc, back)
+	}
+}
+
+// TestForEachLineAccounting pins the per-line accounting contract the
+// ingest handlers report: bad lines are counted and the first error
+// kept, blank lines are skipped, and a reader failure aborts.
+func TestForEachLineAccounting(t *testing.T) {
+	body := "{\"ts\":1,\"type\":\"keepalive\"}\n\nbogus\n{\"ts\":2,\"type\":\"keepalive\"}\n"
+	accepted, rejected, firstErr, ioErr := forEachLine(bytes.NewReader([]byte(body)), func(line []byte) error {
+		_, err := DecodeBGPLine(line)
+		return err
+	})
+	if ioErr != nil {
+		t.Fatal(ioErr)
+	}
+	if accepted != 2 || rejected != 1 {
+		t.Fatalf("accepted=%d rejected=%d, want 2/1", accepted, rejected)
+	}
+	if firstErr == nil {
+		t.Fatal("first error not captured")
+	}
+}
