@@ -63,11 +63,13 @@ benchdiff:
 smoke:
 	$(GO) test -run TestSmoke -count=1 ./cmd/ndserve
 
-# Zero-allocation guard for the uninstrumented telemetry path: the
-# disabled-handle hot-loop benchmarks (including the trace-plumbed
-# variant) must report exactly 0 allocs/op.
+# Zero-allocation guards: the uninstrumented telemetry path (disabled-
+# handle hot-loop benchmarks, including the trace-plumbed variant) and the
+# bitset greedy scoring kernels (scanBest / accumDelta / retireSets as the
+# greedy loop composes them) must report exactly 0 allocs/op.
 allocguard:
 	$(GO) test -run xxx -bench 'BenchmarkHotLoopDisabled' -benchtime 100x ./internal/telemetry/ | $(GO) run ./cmd/benchjson -allocguard '^BenchmarkHotLoopDisabled'
+	$(GO) test -run xxx -bench 'BenchmarkGreedyScoreKernel' -benchtime 100x ./internal/core/ | $(GO) run ./cmd/benchjson -allocguard '^BenchmarkGreedyScoreKernel'
 
 # The full verify loop: tier-1 (build + test) plus vet, the project
 # linter, the race detector, the service smoke test and the telemetry

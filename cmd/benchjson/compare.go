@@ -133,6 +133,38 @@ func runCompare(oldPath, newPath string, thresholdPct float64, w io.Writer) (reg
 		}
 	}
 
+	// The diagnose section gates the bitset engine's win over the map
+	// reference as a ratio, per sensor count: a point whose end-to-end
+	// speedup collapses versus the committed report fails the comparison
+	// even when no single benchmark tripped the ns/op threshold. Bitset-
+	// only points (no map side, Speedup zero) are skipped — they are gated
+	// by their own ns/op rows above.
+	oldDiag := make(map[string]DiagnoseScenario, len(oldRep.Diagnose))
+	for _, d := range oldRep.Diagnose {
+		oldDiag[d.Sensors] = d
+	}
+	for _, nd := range newRep.Diagnose {
+		prev, ok := oldDiag[nd.Sensors]
+		if !ok {
+			if nd.Speedup > 0 {
+				fmt.Fprintf(w, "%-55s %13sx %13.1fx %9s\n",
+					"diagnose-speedup/"+nd.Sensors, "-", nd.Speedup, "added")
+			}
+			continue
+		}
+		if prev.Speedup <= 0 || nd.Speedup <= 0 {
+			continue
+		}
+		drop := (prev.Speedup - nd.Speedup) / prev.Speedup * 100
+		mark := ""
+		if drop > thresholdPct {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-55s %13.1fx %13.1fx %+8.1f%%%s\n",
+			"diagnose-speedup/"+nd.Sensors, prev.Speedup, nd.Speedup, -drop, mark)
+	}
+
 	if regressions > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed beyond %.1f%%\n", regressions, thresholdPct)
 		return true, nil

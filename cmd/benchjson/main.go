@@ -93,6 +93,22 @@ type StreamSection struct {
 	DirtyPairFraction        *float64 `json:"dirty_pair_fraction,omitempty"`
 }
 
+// DiagnoseScenario pairs one sensor-count point of the diagnosis
+// scalability series: the bitset engine against the map-based reference,
+// end-to-end and on the greedy phase the bitset engine vectorizes. Points
+// beyond the map engine's practical range (10k sensors) carry only the
+// bitset side — MapNsPerOp and the speedups stay zero/omitted there.
+type DiagnoseScenario struct {
+	Sensors          string  `json:"sensors"`
+	BitsetNsPerOp    float64 `json:"bitset_ns_per_op"`
+	MapNsPerOp       float64 `json:"map_ns_per_op,omitempty"`
+	Speedup          float64 `json:"speedup,omitempty"`
+	GreedySpeedup    float64 `json:"greedy_speedup,omitempty"`
+	SensorsPerSec    float64 `json:"sensors_per_sec,omitempty"`
+	GreedyNsPerOp    float64 `json:"greedy_ns_per_op,omitempty"`
+	MapGreedyNsPerOp float64 `json:"map_greedy_ns_per_op,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	Benchmarks  []Entry               `json:"benchmarks"`
@@ -101,6 +117,7 @@ type Report struct {
 	Snapshot    []SnapshotScenario    `json:"snapshot,omitempty"`
 	Lint        *LintSection          `json:"lint,omitempty"`
 	Stream      *StreamSection        `json:"stream,omitempty"`
+	Diagnose    []DiagnoseScenario    `json:"diagnose,omitempty"`
 }
 
 // serverSection derives the server summary from the parsed entries; it is
@@ -294,6 +311,57 @@ func streamSection(entries []Entry) *StreamSection {
 	return s
 }
 
+// diagnoseSection pairs BenchmarkDiagnoseBitset/<sensors> entries with
+// their BenchmarkDiagnoseMap/<sensors> counterparts into the scalability
+// series. Bitset-only points (the map engine stops at 2k sensors) are
+// kept — they are the curve's headline — so only the bitset side is
+// required. Points are sorted by sensor count.
+func diagnoseSection(entries []Entry) []DiagnoseScenario {
+	bit := map[string]*Entry{}
+	ref := map[string]*Entry{}
+	for _, e := range bestEntries(entries) {
+		if name, ok := strings.CutPrefix(e.Name, "BenchmarkDiagnoseBitset/"); ok {
+			bit[name] = e
+		} else if name, ok := strings.CutPrefix(e.Name, "BenchmarkDiagnoseMap/"); ok {
+			ref[name] = e
+		}
+	}
+	names := make([]string, 0, len(bit))
+	for name := range bit {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, aerr := strconv.Atoi(names[i])
+		b, berr := strconv.Atoi(names[j])
+		if aerr == nil && berr == nil {
+			return a < b
+		}
+		return names[i] < names[j]
+	})
+	var out []DiagnoseScenario
+	for _, name := range names {
+		be := bit[name]
+		s := DiagnoseScenario{
+			Sensors:       name,
+			BitsetNsPerOp: be.NsPerOp,
+			SensorsPerSec: be.Extra["sensors/s"],
+			GreedyNsPerOp: be.Extra["greedy-ns/op"],
+		}
+		if me, ok := ref[name]; ok {
+			s.MapNsPerOp = me.NsPerOp
+			s.MapGreedyNsPerOp = me.Extra["greedy-ns/op"]
+			if be.NsPerOp > 0 {
+				s.Speedup = me.NsPerOp / be.NsPerOp
+			}
+			if s.GreedyNsPerOp > 0 && s.MapGreedyNsPerOp > 0 {
+				s.GreedySpeedup = s.MapGreedyNsPerOp / s.GreedyNsPerOp
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two reports: benchjson -compare [-threshold pct] old.json new.json")
@@ -391,6 +459,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	rep.Snapshot = snapshotSection(rep.Benchmarks)
 	rep.Lint = lintSection(rep.Benchmarks)
 	rep.Stream = streamSection(rep.Benchmarks)
+	rep.Diagnose = diagnoseSection(rep.Benchmarks)
 	return rep, sc.Err()
 }
 

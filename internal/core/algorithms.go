@@ -47,6 +47,11 @@ type Options struct {
 	// identical at any setting because scores land in per-candidate slots
 	// and selection scans them in deterministic order.
 	Parallelism int
+	// Engine selects the diagnosis engine implementation. The zero value
+	// (EngineBitset) is the packed-bitset engine; EngineMap selects the
+	// original map-based implementation, kept as the reference for
+	// differential testing. Both produce byte-identical results.
+	Engine EngineKind
 	// Telemetry receives the run's metrics: the "diagnose.runs" counter,
 	// per-phase latency histograms ("diagnose.phase.<name>_ns") and the
 	// pool metrics of the candidate-scoring fan-out. Setting it (or Logger)
@@ -57,6 +62,26 @@ type Options struct {
 	// summary per run, and enables Result.Telemetry like Telemetry does.
 	Logger *slog.Logger
 }
+
+// EngineKind selects between the two diagnosis engine implementations.
+// Both compute the identical hypothesis (the differential harness pins
+// byte-identical wire output across every algorithm variant); they differ
+// only in representation and speed.
+type EngineKind int
+
+const (
+	// EngineBitset is the default: every link is interned to a dense int
+	// ID during set building, failure/reroute sets and link incidences
+	// become packed []uint64 bitsets, greedy scoring is popcount over
+	// word-ANDs, and the greedy loop maintains incremental per-candidate
+	// scores updated only for candidates touched by each selection.
+	EngineBitset EngineKind = iota
+	// EngineMap is the original map-based implementation — per-link Go
+	// maps and full per-iteration rescoring. It is kept as the readable
+	// reference the bitset engine is differentially tested against, and
+	// as the map side of the diagnose benchmarks.
+	EngineMap
+)
 
 // Tomo runs the multi-AS Boolean tomography baseline of §2.
 func Tomo(m *Measurements) (*Result, error) { return Run(m, Options{}) }
@@ -98,29 +123,32 @@ func newObsSet(links []Link) *obsSet {
 	return s
 }
 
-// engine carries the state of one diagnosis run.
+// engine carries the state of one diagnosis run shared by both engine
+// implementations; the fields below the trace handles belong to the
+// map-based reference path (EngineMap). The bitset path keeps its own
+// interned state in bitEngine.
 type engine struct {
-	ctx      context.Context
-	workers  int
-	opts     Options
-	exp      *expander
-	nodeAS   map[Node]topology.ASN
-	nodeUH   map[Node]bool
-	uhTags   map[Node]asTag
-	allLinks linkSet // every link of every before path (diagnosis space)
-	// linkPaths maps each before-path link to the sensor pairs whose
-	// before path contains it (clustering rule ii and diagnosability).
-	linkPaths map[Link]map[pair]bool
+	ctx     context.Context
+	workers int
+	opts    Options
+	exp     *expander
+	nodeAS  map[Node]topology.ASN
+	nodeUH  map[Node]bool
+	uhTags  map[Node]asTag
 
 	// trace is non-nil only when the run is observed (Options.Telemetry or
 	// Options.Logger); every phase helper is a no-op otherwise.
 	trace *telemetry.Trace
 	poolM *pool.Metrics
 
-	failSets []*obsSet
-	rerSets  []*obsSet
-	working  linkSet
-	cand     linkSet
+	allLinks linkSet // every link of every before path (diagnosis space)
+	// linkPaths maps each before-path link to the sensor pairs whose
+	// before path contains it (clustering rule ii).
+	linkPaths map[Link]map[pair]bool
+	failSets  []*obsSet
+	rerSets   []*obsSet
+	working   linkSet
+	cand      linkSet
 	// extraCover extends a candidate's explanatory reach: Looking-Glass
 	// clusters (§3.4) and, for a physical interdomain link, its logical
 	// children (a physical failure fails all of them).
@@ -173,7 +201,8 @@ func RunCtx(ctx context.Context, m *Measurements, opts Options) (*Result, error)
 	}
 
 	end := e.phase("validate")
-	err := m.Validate()
+	idx := m.buildIndex()
+	err := m.validateIndexed(idx)
 	end()
 	if err != nil {
 		return nil, err
@@ -183,43 +212,25 @@ func RunCtx(ctx context.Context, m *Measurements, opts Options) (*Result, error)
 	if opts.LogicalLinks {
 		end = e.phase("expand")
 		work = e.exp.expandAll(m)
+		idx = idx.rebind(work)
 		end()
 	}
 	e.collectNodes(work)
 	if opts.LG != nil {
 		e.uhTags = mapUHs(work, opts.LG)
 	}
-	end = e.phase("build_sets")
-	e.buildSets(work)
-	end()
-	if err := ctx.Err(); err != nil {
-		return nil, err
+
+	var iters, unexplained int
+	if opts.Engine == EngineMap {
+		iters, unexplained, err = e.runMap(idx)
+	} else {
+		iters, unexplained, err = newBitEngine(e).run(idx)
 	}
-	end = e.phase("candidates")
-	e.exonerateWithdrawalEdges()
-	e.buildCandidates()
-	e.addPhysParents()
-	e.applyIGPDowns()
-	if opts.LG != nil {
-		e.buildClusters()
-	}
-	end()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	end = e.phase("greedy")
-	iters, err := e.greedy()
-	end()
 	if err != nil {
 		return nil, err
 	}
 
-	res := &Result{Iterations: iters}
-	for _, fs := range e.failSets {
-		if !fs.explained {
-			res.UnexplainedFailures++
-		}
-	}
+	res := &Result{Iterations: iters, UnexplainedFailures: unexplained}
 	res.Hypothesis = e.attribute()
 	res.Telemetry = e.trace.Spans()
 	if opts.Logger != nil {
@@ -229,6 +240,42 @@ func RunCtx(ctx context.Context, m *Measurements, opts Options) (*Result, error)
 			"unexplained", res.UnexplainedFailures)
 	}
 	return res, nil
+}
+
+// runMap is the map-based reference pipeline: set building, candidate
+// construction and the full-rescore greedy loop over linkSet maps. It
+// fills e.hyp and returns the iteration and unexplained-failure counts.
+func (e *engine) runMap(idx *meshIndex) (iters, unexplained int, err error) {
+	end := e.phase("build_sets")
+	e.buildSets(idx)
+	end()
+	if err := e.ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	end = e.phase("candidates")
+	e.exonerateWithdrawalEdges()
+	e.buildCandidates()
+	e.addPhysParents()
+	e.applyIGPDowns()
+	if e.opts.LG != nil {
+		e.buildClusters()
+	}
+	end()
+	if err := e.ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	end = e.phase("greedy")
+	iters, err = e.greedy()
+	end()
+	if err != nil {
+		return iters, 0, err
+	}
+	for _, fs := range e.failSets {
+		if !fs.explained {
+			unexplained++
+		}
+	}
+	return iters, unexplained, nil
 }
 
 var noopEnd = func() {}
@@ -279,11 +326,10 @@ func (e *engine) collectNodes(m *Measurements) {
 }
 
 // buildSets derives failure sets, reroute sets and working constraints.
-func (e *engine) buildSets(m *Measurements) {
-	before, after := m.index()
-	for _, pr := range sortedPairs(after) {
-		ap := after[pr]
-		bp := before[pr]
+func (e *engine) buildSets(idx *meshIndex) {
+	for _, pr := range idx.pairs {
+		ap := idx.after[pr]
+		bp := idx.before[pr]
 		if bp == nil {
 			continue
 		}

@@ -1,0 +1,596 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"netdiag/internal/pool"
+)
+
+// bitEngine is the default diagnosis pipeline: every Link is interned to a
+// dense int32 ID, set membership becomes packed bitsets, greedy scoring is
+// popcount over word-ANDs, and the greedy loop maintains incremental
+// per-candidate scores instead of rescoring every candidate each round.
+//
+// Equivalence with the map-based reference (EngineMap) is structural, not
+// accidental: every user-visible iteration (candidate scan, cluster pairs,
+// hypothesis order) runs in the same sorted-Link order as the reference,
+// scores are the same float expression over the same integer counts, and
+// the delta updates below are exact (see DESIGN.md, "Bitset diagnosis
+// core"). The differential harness pins byte-identical wire output.
+type bitEngine struct {
+	e  *engine
+	in *linkInterner
+
+	nPairs int
+
+	all     bitset // before-path links: the diagnosis space
+	working bitset
+	cand    bitset
+
+	// failLinks / rerLinks hold each constraint set as interned link IDs in
+	// path order — the bitset analogue of obsSet.links.
+	failLinks [][]int32
+	rerLinks  [][]int32
+
+	// failInc / rerInc transpose the sets: per link ID, the bitset of
+	// failure / reroute set indices containing that link. Rows are nil for
+	// links in no set. pairInc is the per-link before-path pair incidence,
+	// built only for ND-LG (the sole consumer, clustering rule ii).
+	failInc []bitset
+	rerInc  []bitset
+	pairInc []bitset
+
+	// unexplF / unexplR mask the not-yet-explained set indices; the counts
+	// are maintained alongside so the greedy termination check is O(1).
+	unexplF, unexplR   bitset
+	nUnexplF, nUnexplR int
+
+	// extraCover extends a candidate's explanatory reach (physical parents'
+	// logical children, Looking-Glass clusters), as interned IDs.
+	extraCover map[int32][]int32
+
+	// candOrder lists candidate link IDs sorted by Link — the deterministic
+	// scan order shared by clustering and every greedy round. alive flags
+	// positions not yet selected; candCount is the live total.
+	candOrder []int32
+	alive     []bool
+	candCount int
+
+	// coverF / coverR give each candidate position its full cover incidence
+	// ({link} ∪ extraCover, OR-folded). Candidates without extraCover share
+	// the failInc/rerInc row pointer — no per-candidate allocation.
+	coverF, coverR []bitset
+	// coveredByF / coveredByR transpose the covers: per set index, the
+	// candidate positions covering it. Each (position, set) pair appears
+	// exactly once, so the delta decrement in retireSets is exact.
+	coveredByF, coveredByR [][]int32
+	// fCnt / rCnt are the incremental integer scores: how many unexplained
+	// failure / reroute sets each candidate position currently covers.
+	fCnt, rCnt []int
+}
+
+func newBitEngine(e *engine) *bitEngine {
+	return &bitEngine{
+		e:          e,
+		in:         newLinkInterner(),
+		extraCover: map[int32][]int32{},
+	}
+}
+
+// run executes the bitset pipeline and returns the greedy iteration and
+// unexplained-failure counts, filling e.hyp for shared attribution.
+func (b *bitEngine) run(idx *meshIndex) (iters, unexplained int, err error) {
+	e := b.e
+	end := e.phase("build_sets")
+	b.buildSets(idx)
+	end()
+	if err := e.ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	end = e.phase("candidates")
+	b.exonerateWithdrawalEdges()
+	b.buildCandidates()
+	b.addPhysParents()
+	b.buildIncidence()
+	b.applyIGPDowns()
+	b.orderCandidates()
+	if e.opts.LG != nil {
+		b.buildClusters()
+	}
+	end()
+	if err := e.ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	end = e.phase("greedy")
+	iters, err = b.greedy()
+	end()
+	if err != nil {
+		return iters, 0, err
+	}
+	return iters, b.nUnexplF, nil
+}
+
+// buildSets derives failure sets, reroute sets and working constraints,
+// interning every link on first sight (sorted pair order, path order).
+func (b *bitEngine) buildSets(idx *meshIndex) {
+	e := b.e
+	b.nPairs = len(idx.pairs)
+	lgMode := e.opts.LG != nil
+	for pi, pr := range idx.pairs {
+		ap := idx.after[pr]
+		bp := idx.before[pr]
+		if bp == nil {
+			continue
+		}
+		bLinks := bp.Links()
+		bIDs := make([]int32, len(bLinks))
+		for i, l := range bLinks {
+			id := b.in.id(l)
+			bIDs[i] = id
+			setGrow(&b.all, id)
+			if lgMode {
+				b.pairRow(id).set(int32(pi))
+			}
+		}
+		if !bp.OK {
+			continue // no pre-failure baseline for this pair
+		}
+		switch {
+		case ap.OK && e.opts.UseReroutes:
+			aLinks := ap.Links()
+			for _, l := range aLinks {
+				setGrow(&b.working, b.in.id(l))
+			}
+			if !pathsEquivalent(bp, ap) {
+				if diff := linksNotIn(bLinks, aLinks); len(diff) > 0 {
+					ids := make([]int32, len(diff))
+					for i, l := range diff {
+						ids[i] = b.in.id(l)
+					}
+					b.rerLinks = append(b.rerLinks, ids)
+				}
+			}
+		case ap.OK:
+			// Tomo's view: only the pre-failure route is known, so every
+			// link of the old path counts as working (the §2.5 limitation).
+			for _, id := range bIDs {
+				setGrow(&b.working, id)
+			}
+		default:
+			links := trimByWithdrawals(bp, bLinks, e.opts.Routing)
+			if e.opts.UsePartialTraces {
+				for _, l := range ap.Links() {
+					setGrow(&b.working, b.in.id(l))
+				}
+			}
+			// trimByWithdrawals returns a suffix of bLinks, so the IDs are
+			// the matching suffix of bIDs.
+			b.failLinks = append(b.failLinks, bIDs[len(bLinks)-len(links):])
+		}
+	}
+	b.unexplF, b.nUnexplF = fullMask(len(b.failLinks))
+	b.unexplR, b.nUnexplR = fullMask(len(b.rerLinks))
+}
+
+// pairRow returns link id's pair-incidence row, growing the table and
+// allocating the row on demand.
+func (b *bitEngine) pairRow(id int32) bitset {
+	if int(id) >= len(b.pairInc) {
+		rows := make([]bitset, int(id)+1+int(id)/2)
+		copy(rows, b.pairInc)
+		b.pairInc = rows
+	}
+	if b.pairInc[id] == nil {
+		b.pairInc[id] = newBitset(b.nPairs)
+	}
+	return b.pairInc[id]
+}
+
+// pairAt is pairRow without allocation: nil when the link never appeared on
+// a before path (its pair incidence is empty).
+func (b *bitEngine) pairAt(id int32) bitset {
+	if int(id) < len(b.pairInc) {
+		return b.pairInc[id]
+	}
+	return nil
+}
+
+// fullMask returns a bitset with bits 0..n-1 set, and n.
+func fullMask(n int) (bitset, int) {
+	m := newBitset(n)
+	for i := 0; i < n; i++ {
+		m[i>>6] |= 1 << (uint(i) & 63)
+	}
+	return m, n
+}
+
+func (b *bitEngine) exonerateWithdrawalEdges() {
+	ri := b.e.opts.Routing
+	if ri == nil {
+		return
+	}
+	for _, w := range ri.Withdrawals {
+		setGrow(&b.working, b.in.id(Link{From: w.At, To: w.From}))
+		setGrow(&b.working, b.in.id(Link{From: w.From, To: w.At}))
+	}
+}
+
+func (b *bitEngine) buildCandidates() {
+	e := b.e
+	add := func(sets [][]int32) {
+		for _, ids := range sets {
+			for _, id := range ids {
+				if b.working.has(id) {
+					continue
+				}
+				if !e.opts.KeepUnidentified {
+					l := b.in.links[id]
+					if e.nodeUH[l.From] || e.nodeUH[l.To] {
+						continue
+					}
+				}
+				setGrow(&b.cand, id)
+			}
+		}
+	}
+	add(b.failLinks)
+	add(b.rerLinks)
+}
+
+// addPhysParents mirrors engine.addPhysParents over interned IDs. Parents
+// are visited in sorted-Link order so interning stays deterministic; a
+// child the interner has never seen was on no path and no constraint, so
+// it is neither working nor a candidate.
+func (b *bitEngine) addPhysParents() {
+	e := b.e
+	if !e.opts.LogicalLinks {
+		return
+	}
+	parents := make([]Link, 0, len(e.exp.children))
+	for p := range e.exp.children {
+		parents = append(parents, p)
+	}
+	sort.Slice(parents, func(i, j int) bool {
+		if parents[i].From != parents[j].From {
+			return parents[i].From < parents[j].From
+		}
+		return parents[i].To < parents[j].To
+	})
+	for _, parent := range parents {
+		if pid, ok := b.in.lookup(parent); ok && b.working.has(pid) {
+			continue
+		}
+		exonerated := false
+		var covered []int32
+		for _, c := range e.exp.children[parent] {
+			cid, ok := b.in.lookup(c)
+			if !ok {
+				continue
+			}
+			if b.working.has(cid) {
+				exonerated = true
+				break
+			}
+			if b.cand.has(cid) {
+				covered = append(covered, cid)
+			}
+		}
+		if exonerated || len(covered) == 0 {
+			continue
+		}
+		pid := b.in.id(parent)
+		setGrow(&b.cand, pid)
+		b.extraCover[pid] = append(b.extraCover[pid], covered...)
+	}
+}
+
+// buildIncidence transposes the constraint sets into per-link incidence
+// rows. It runs after addPhysParents — the last point where new links are
+// interned — so the row tables cover the final ID universe.
+func (b *bitEngine) buildIncidence() {
+	n := b.in.size()
+	b.failInc = make([]bitset, n)
+	b.rerInc = make([]bitset, n)
+	nF, nR := len(b.failLinks), len(b.rerLinks)
+	for s, ids := range b.failLinks {
+		for _, id := range ids {
+			if b.failInc[id] == nil {
+				b.failInc[id] = newBitset(nF)
+			}
+			b.failInc[id].set(int32(s))
+		}
+	}
+	for s, ids := range b.rerLinks {
+		for _, id := range ids {
+			if b.rerInc[id] == nil {
+				b.rerInc[id] = newBitset(nR)
+			}
+			b.rerInc[id].set(int32(s))
+		}
+	}
+}
+
+// applyIGPDowns adds AS-X's directly observed failed links to the
+// hypothesis and retires the sets containing them (the link itself only —
+// extraCover does not apply, matching the reference engine).
+func (b *bitEngine) applyIGPDowns() {
+	e := b.e
+	if e.opts.Routing == nil {
+		return
+	}
+	for _, l := range e.opts.Routing.IGPDownLinks {
+		id, ok := b.in.lookup(l)
+		if !ok || !b.all.has(id) {
+			continue
+		}
+		e.hyp = append(e.hyp, l)
+		b.cand.clear(id)
+		b.retireMask(b.failInc[id], b.unexplF, &b.nUnexplF)
+		b.retireMask(b.rerInc[id], b.unexplR, &b.nUnexplR)
+	}
+}
+
+// retireMask clears inc's bits from unexpl, decrementing the live count.
+func (b *bitEngine) retireMask(inc, unexpl bitset, n *int) {
+	for w, v := range inc {
+		if d := v & unexpl[w]; d != 0 {
+			unexpl[w] &^= d
+			*n -= bits.OnesCount64(d)
+		}
+	}
+}
+
+// orderCandidates freezes the candidate scan order: link IDs sorted by
+// Link, exactly the reference engine's cand.sorted(). Greedy removals only
+// flip alive flags, so the surviving order equals a fresh sort each round.
+func (b *bitEngine) orderCandidates() {
+	var ids []int32
+	for w, v := range b.cand {
+		for v != 0 {
+			t := bits.TrailingZeros64(v)
+			v &= v - 1
+			ids = append(ids, int32(w*wordBits+t))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		li, lj := b.in.links[ids[i]], b.in.links[ids[j]]
+		if li.From != lj.From {
+			return li.From < lj.From
+		}
+		return li.To < lj.To
+	})
+	b.candOrder = ids
+	b.alive = make([]bool, len(ids))
+	for i := range b.alive {
+		b.alive[i] = true
+	}
+	b.candCount = len(ids)
+}
+
+// buildClusters groups unidentified candidate links under the §3.4 rules;
+// rule (ii) — never on the same before path — is one AND-any sweep over
+// the pair-incidence rows instead of a per-pair map probe.
+func (b *bitEngine) buildClusters() {
+	e := b.e
+	var unid []int32
+	for _, id := range b.candOrder {
+		l := b.in.links[id]
+		if e.nodeUH[l.From] || e.nodeUH[l.To] {
+			unid = append(unid, id)
+		}
+	}
+	keys := make([][2]endpointKey, len(unid))
+	fcounts := make([]int, len(unid))
+	for i, id := range unid {
+		l := b.in.links[id]
+		keys[i] = [2]endpointKey{
+			makeEndpointKey(l.From, e.nodeUH[l.From], e.uhTags),
+			makeEndpointKey(l.To, e.nodeUH[l.To], e.uhTags),
+		}
+		fcounts[i] = b.failInc[id].popcount()
+	}
+	for i := range unid {
+		if !keys[i][0].ok || !keys[i][1].ok {
+			continue
+		}
+		for j := range unid {
+			if i == j || !keys[j][0].ok || !keys[j][1].ok {
+				continue
+			}
+			if keys[i][0] != keys[j][0] || keys[i][1] != keys[j][1] {
+				continue // rule (i): endpoint identities/tags must match
+			}
+			if fcounts[i] != fcounts[j] {
+				continue // rule (iii): same number of failure sets
+			}
+			if andAny(b.pairAt(unid[i]), b.pairAt(unid[j])) {
+				continue // rule (ii): never on the same path
+			}
+			b.extraCover[unid[i]] = append(b.extraCover[unid[i]], unid[j])
+		}
+	}
+}
+
+// prepareCover materializes each candidate's cover incidence and the
+// set→candidates transpose driving the incremental score updates. A
+// candidate without extraCover shares its incidence row pointer — the
+// per-candidate cover union costs nothing (this replaces the reference
+// engine's per-candidate-per-iteration append in coverCounts).
+func (b *bitEngine) prepareCover() {
+	nF, nR := len(b.failLinks), len(b.rerLinks)
+	n := len(b.candOrder)
+	b.coverF = make([]bitset, n)
+	b.coverR = make([]bitset, n)
+	for pos, id := range b.candOrder {
+		ex := b.extraCover[id]
+		if len(ex) == 0 {
+			b.coverF[pos] = b.failInc[id]
+			b.coverR[pos] = b.rerInc[id]
+			continue
+		}
+		cf := newBitset(nF)
+		if row := b.failInc[id]; row != nil {
+			copy(cf, row)
+		}
+		cr := newBitset(nR)
+		if row := b.rerInc[id]; row != nil {
+			copy(cr, row)
+		}
+		for _, cid := range ex {
+			if row := b.failInc[cid]; row != nil {
+				orInto(cf, row)
+			}
+			if row := b.rerInc[cid]; row != nil {
+				orInto(cr, row)
+			}
+		}
+		b.coverF[pos] = cf
+		b.coverR[pos] = cr
+	}
+	b.coveredByF = transposeCover(b.coverF, nF)
+	b.coveredByR = transposeCover(b.coverR, nR)
+}
+
+// transposeCover inverts candidate→sets incidence into set→candidates
+// lists. Rows are bitsets, so each (candidate, set) pair appears once.
+func transposeCover(cover []bitset, nSets int) [][]int32 {
+	out := make([][]int32, nSets)
+	for pos, row := range cover {
+		for w, v := range row {
+			base := w * wordBits
+			for v != 0 {
+				t := bits.TrailingZeros64(v)
+				v &= v - 1
+				out[base+t] = append(out[base+t], int32(pos))
+			}
+		}
+	}
+	return out
+}
+
+// initScores computes the starting integer scores — how many unexplained
+// failure / reroute sets each candidate covers — fanned out over the
+// configured workers. Each worker writes only its own slots, so the counts
+// (and therefore the hypothesis) are identical at any parallelism.
+func (b *bitEngine) initScores() {
+	b.fCnt = make([]int, len(b.candOrder))
+	b.rCnt = make([]int, len(b.candOrder))
+	_ = pool.ForEachM(b.e.ctx, b.e.workers, len(b.candOrder), func(pos int) error {
+		b.fCnt[pos] = andPopcount(b.coverF[pos], b.unexplF)
+		b.rCnt[pos] = andPopcount(b.coverR[pos], b.unexplR)
+		return nil
+	}, b.e.poolM)
+}
+
+// greedy is the weighted greedy minimum-hitting-set of Algorithm 1 over
+// incremental scores: each round scans the live candidates (sorted-Link
+// order), selects every maximum-score candidate, retires the newly
+// explained sets, and decrements the scores of exactly the candidates
+// covering those sets. The delta equals a full rescore: a candidate's
+// count changes only when a set it covers flips to explained, and each
+// such (candidate, set) pair is visited exactly once via coveredBy.
+func (b *bitEngine) greedy() (int, error) {
+	e := b.e
+	b.prepareCover()
+	b.initScores()
+	fw, rw := e.opts.FailureWeight, e.opts.RerouteWeight
+	bestBuf := make([]int32, len(b.candOrder))
+	scratchF := newBitset(len(b.failLinks))
+	scratchR := newBitset(len(b.rerLinks))
+	iters := 0
+	for {
+		if err := e.ctx.Err(); err != nil {
+			return iters, err
+		}
+		if b.nUnexplF+b.nUnexplR == 0 || b.candCount == 0 {
+			return iters, nil
+		}
+		iters++
+		endIter := e.phaseIter("greedy_iter", iters)
+		best, k := scanBest(b.candOrder, b.alive, b.fCnt, b.rCnt, fw, rw, bestBuf)
+		if best == 0 {
+			endIter()
+			return iters, nil // remaining sets are unexplainable
+		}
+		for i := 0; i < k; i++ {
+			pos := bestBuf[i]
+			id := b.candOrder[pos]
+			e.hyp = append(e.hyp, b.in.links[id])
+			b.alive[pos] = false
+			b.candCount--
+			accumDelta(b.coverF[pos], b.unexplF, scratchF)
+			accumDelta(b.coverR[pos], b.unexplR, scratchR)
+		}
+		b.nUnexplF -= retireSets(scratchF, b.unexplF, b.coveredByF, b.fCnt)
+		b.nUnexplR -= retireSets(scratchR, b.unexplR, b.coveredByR, b.rCnt)
+		endIter()
+	}
+}
+
+// scanBest finds the maximum score over live candidates and writes every
+// position attaining it into bestBuf (in scan order), returning the score
+// and the count. The comparison sequence matches the reference engine's
+// scan exactly, including the best > 0 tie rule.
+//
+//ndlint:hotpath
+func scanBest(order []int32, alive []bool, fCnt, rCnt []int, fw, rw float64, bestBuf []int32) (float64, int) {
+	best := 0.0
+	k := 0
+	for pos := range order {
+		if !alive[pos] {
+			continue
+		}
+		s := fw*float64(fCnt[pos]) + rw*float64(rCnt[pos])
+		switch {
+		case s > best:
+			best = s
+			bestBuf[0] = int32(pos)
+			k = 1
+		case s == best && best > 0:
+			bestBuf[k] = int32(pos)
+			k++
+		}
+	}
+	return best, k
+}
+
+// accumDelta ORs the still-unexplained part of cover into scratch: the
+// sets this selection newly explains.
+//
+//ndlint:hotpath
+func accumDelta(cover, unexpl, scratch bitset) {
+	for w, v := range cover {
+		if d := v & unexpl[w]; d != 0 {
+			scratch[w] |= d
+		}
+	}
+}
+
+// retireSets consumes the delta mask: clears those sets from unexpl (and
+// from delta, re-zeroing the scratch for the next round), and decrements
+// the score of every candidate covering a retired set. Returns the number
+// of sets retired.
+//
+//ndlint:hotpath
+func retireSets(delta, unexpl bitset, coveredBy [][]int32, cnt []int) int {
+	removed := 0
+	for w := range delta {
+		d := delta[w]
+		if d == 0 {
+			continue
+		}
+		delta[w] = 0
+		unexpl[w] &^= d
+		removed += bits.OnesCount64(d)
+		base := w * wordBits
+		for d != 0 {
+			t := bits.TrailingZeros64(d)
+			d &= d - 1
+			for _, pos := range coveredBy[base+t] {
+				cnt[pos]--
+			}
+		}
+	}
+	return removed
+}

@@ -1,0 +1,107 @@
+package core
+
+import "math/bits"
+
+// This file holds the packed bitset primitives of the default diagnosis
+// engine. A bitset is a dense bit vector over one of the engine's interned
+// ID spaces (link IDs, failure-set indices, reroute-set indices, pair
+// indices). The kernels are deliberately branch-light word loops: greedy
+// scoring is popcount-over-word-AND, set explanation is word AND-NOT, and
+// cluster path-sharing is a single AND-any sweep.
+//
+// Reads (has, andAny, andPopcount, popcount) tolerate out-of-range indices
+// and mismatched lengths — a bit beyond a set's words is simply absent.
+// Writes via set require capacity; the engine grows through setGrow, so the
+// primitives themselves stay allocation-free.
+
+const wordBits = 64
+
+// bitset is a packed bit vector. The zero value is an empty set.
+type bitset []uint64
+
+// newBitset returns a zeroed bitset with capacity for n bits.
+func newBitset(n int) bitset { return make(bitset, (n+wordBits-1)/wordBits) }
+
+// set sets bit i. The bit must be within the allocated words (grow first
+// via setGrow when the universe is still expanding).
+func (b bitset) set(i int32) { b[i>>6] |= 1 << (uint32(i) & 63) }
+
+// clear clears bit i; clearing a bit beyond the allocated words is a no-op
+// (the bit is already absent).
+func (b bitset) clear(i int32) {
+	if w := int(i >> 6); w < len(b) {
+		b[w] &^= 1 << (uint32(i) & 63)
+	}
+}
+
+// has reports whether bit i is set; bits beyond the allocated words are
+// absent.
+//
+//ndlint:hotpath
+func (b bitset) has(i int32) bool {
+	w := int(i >> 6)
+	return w < len(b) && b[w]&(1<<(uint32(i)&63)) != 0
+}
+
+// setGrow sets bit i, growing the word slice as needed. It is the only
+// write path the engine uses while an ID space is still being interned.
+func setGrow(b *bitset, i int32) {
+	w := int(i >> 6)
+	if w >= len(*b) {
+		nb := make(bitset, w+1+w/2)
+		copy(nb, *b)
+		*b = nb
+	}
+	(*b)[w] |= 1 << (uint32(i) & 63)
+}
+
+// popcount returns the number of set bits.
+//
+//ndlint:hotpath
+func (b bitset) popcount() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// andAny reports whether a and b share any set bit.
+//
+//ndlint:hotpath
+func andAny(a, b bitset) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for w := 0; w < n; w++ {
+		if a[w]&b[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// andPopcount returns the number of bits set in both a and b — the scoring
+// kernel: a candidate's cover incidence AND the unexplained-set mask.
+//
+//ndlint:hotpath
+func andPopcount(a, b bitset) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	c := 0
+	for w := 0; w < n; w++ {
+		c += bits.OnesCount64(a[w] & b[w])
+	}
+	return c
+}
+
+// orInto folds src into dst (dst |= src). dst must be at least as long as
+// src; the engine only ORs rows of one fixed-size ID space.
+func orInto(dst, src bitset) {
+	for w, v := range src {
+		dst[w] |= v
+	}
+}

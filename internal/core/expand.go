@@ -31,9 +31,11 @@ type expander struct {
 	phys      map[Link]Link // logical-space link -> physical link
 	// children lists the logical links derived from each physical
 	// interdomain link. A physical failure of the link fails all of them;
-	// a misconfiguration fails a subset.
-	children map[Link][]Link
-	childSet map[Link]linkSet
+	// a misconfiguration fails a subset. Each logical child belongs to
+	// exactly one parent (its name embeds the physical endpoints), so one
+	// flat seen-set dedups the lists — no per-parent set needed.
+	children  map[Link][]Link
+	childSeen linkSet
 }
 
 func newExpander(perPrefix bool) *expander {
@@ -41,18 +43,13 @@ func newExpander(perPrefix bool) *expander {
 		perPrefix: perPrefix,
 		phys:      map[Link]Link{},
 		children:  map[Link][]Link{},
-		childSet:  map[Link]linkSet{},
+		childSeen: linkSet{},
 	}
 }
 
 func (e *expander) addChild(parent, child Link) {
-	set := e.childSet[parent]
-	if set == nil {
-		set = linkSet{}
-		e.childSet[parent] = set
-	}
-	if !set.has(child) {
-		set.add(child)
+	if !e.childSeen.has(child) {
+		e.childSeen.add(child)
 		e.children[parent] = append(e.children[parent], child)
 	}
 }

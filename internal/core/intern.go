@@ -1,0 +1,39 @@
+package core
+
+// linkInterner assigns every Link of a diagnosis run a small dense int ID,
+// so sets of links become packed bitsets and per-link state becomes flat
+// slices. IDs are assigned on first sight during set building (in sorted
+// pair order) and candidate construction (in sorted parent order), so the
+// table is deterministic for a given input; no output ever depends on the
+// numeric ID values themselves — every user-visible iteration goes through
+// an order sorted by Link.
+type linkInterner struct {
+	ids   map[Link]int32
+	links []Link
+}
+
+func newLinkInterner() *linkInterner {
+	return &linkInterner{ids: map[Link]int32{}}
+}
+
+// id returns l's dense ID, assigning the next one on first sight.
+func (in *linkInterner) id(l Link) int32 {
+	if id, ok := in.ids[l]; ok {
+		return id
+	}
+	id := int32(len(in.links))
+	in.ids[l] = id
+	in.links = append(in.links, l)
+	return id
+}
+
+// lookup returns l's ID without assigning one. A miss means the link was
+// never seen on any path, working constraint, or candidate — set-membership
+// tests against it are vacuously false.
+func (in *linkInterner) lookup(l Link) (int32, bool) {
+	id, ok := in.ids[l]
+	return id, ok
+}
+
+// size is the number of interned links (the link-ID universe).
+func (in *linkInterner) size() int { return len(in.links) }

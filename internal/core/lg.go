@@ -144,11 +144,12 @@ func makeEndpointKey(n Node, uh bool, tags map[Node]asTag) endpointKey {
 	if len(t) == 0 {
 		return endpointKey{ok: false}
 	}
-	s := ""
+	buf := make([]byte, 0, 8*len(t))
 	for _, a := range t {
-		s += "," + itoaASN(a)
+		buf = append(buf, ',')
+		buf = append(buf, itoaASN(a)...)
 	}
-	return endpointKey{tag: s, ok: true}
+	return endpointKey{tag: string(buf), ok: true}
 }
 
 func itoaASN(a topology.ASN) string {

@@ -73,17 +73,50 @@ type Measurements struct {
 	After      []*TracePath
 }
 
-// index returns per-pair lookups of before/after paths.
-func (m *Measurements) index() (before, after map[pair]*TracePath) {
-	before = make(map[pair]*TracePath, len(m.Before))
-	after = make(map[pair]*TracePath, len(m.After))
+// meshIndex is the per-pair lookup of a measurement set plus the sorted
+// pair universe. It is computed once per diagnosis run — validation and
+// set building share it — and rebound (not resorted) onto the logically
+// expanded copy of the measurements, whose pair space is identical.
+type meshIndex struct {
+	before, after map[pair]*TracePath
+	// pairs is the after-pair universe sorted by (src, dst): the
+	// deterministic iteration order of set building.
+	pairs []pair
+}
+
+// buildIndex computes the measurement index: both per-pair maps and the
+// sorted after-pair order.
+func (m *Measurements) buildIndex() *meshIndex {
+	idx := &meshIndex{
+		before: make(map[pair]*TracePath, len(m.Before)),
+		after:  make(map[pair]*TracePath, len(m.After)),
+	}
 	for _, p := range m.Before {
-		before[pair{p.SrcSensor, p.DstSensor}] = p
+		idx.before[pair{p.SrcSensor, p.DstSensor}] = p
 	}
 	for _, p := range m.After {
-		after[pair{p.SrcSensor, p.DstSensor}] = p
+		idx.after[pair{p.SrcSensor, p.DstSensor}] = p
 	}
-	return before, after
+	idx.pairs = sortedPairs(idx.after)
+	return idx
+}
+
+// rebind re-keys the index onto an expanded copy of the measurements. The
+// expansion rewrites paths one-for-one, so the pair universe and its sort
+// carry over; only the path pointers change.
+func (idx *meshIndex) rebind(work *Measurements) *meshIndex {
+	out := &meshIndex{
+		before: make(map[pair]*TracePath, len(work.Before)),
+		after:  make(map[pair]*TracePath, len(work.After)),
+		pairs:  idx.pairs,
+	}
+	for _, p := range work.Before {
+		out.before[pair{p.SrcSensor, p.DstSensor}] = p
+	}
+	for _, p := range work.After {
+		out.after[pair{p.SrcSensor, p.DstSensor}] = p
+	}
+	return out
 }
 
 // ValidationError reports malformed measurements: which mesh ("before" or
@@ -107,7 +140,13 @@ func (e *ValidationError) Error() string {
 // range, hop lists non-empty, and each After pair also measured Before.
 // A failure is reported as a *ValidationError.
 func (m *Measurements) Validate() error {
-	before, _ := m.index()
+	return m.validateIndexed(m.buildIndex())
+}
+
+// validateIndexed is Validate over a prebuilt index, so a diagnosis run
+// indexes its input exactly once.
+func (m *Measurements) validateIndexed(idx *meshIndex) error {
+	before := idx.before
 	check := func(p *TracePath, mesh string) *ValidationError {
 		if p.SrcSensor < 0 || p.SrcSensor >= m.NumSensors ||
 			p.DstSensor < 0 || p.DstSensor >= m.NumSensors {

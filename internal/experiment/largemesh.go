@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netdiag/internal/core"
+	"netdiag/internal/topology"
+)
+
+// This file holds the synthetic large-mesh generator of the scalability
+// study. The paper's own evaluation (§4, figs 11–12) stops at 600 sensors
+// because the greedy minimum-hitting-set was the bottleneck; the bitset
+// engine's diagnose benchmarks extend the curve to 10k sensors, and this
+// generator supplies the measurement meshes. It builds core.Measurements
+// directly — no simulated network, no convergence — so the benchmark
+// exercises exactly the diagnosis engine, not netsim.
+//
+// Topology shape: sensors are partitioned into groups, each group fronted
+// by an access router, with traffic between groups relayed over a small
+// shared pool of hub routers (two hub hops per path, picked by a group-pair
+// hash). Hubs concentrate many sensor pairs onto few links, the regime
+// where diagnosis is interesting: failing a handful of hubs breaks a large
+// fraction of the mesh, the failure sets heavily overlap, and the greedy
+// cover has real work to do. At 10k sensors the mesh carries tens of
+// thousands of constraint sets over a ~10⁴-link universe — roughly the
+// set-matrix shape Boolean-tomography identifiability analyses work with.
+
+// LargeMeshConfig parameterizes GenerateLargeMesh. DefaultLargeMesh gives
+// the benchmark shape; the zero value is not valid.
+type LargeMeshConfig struct {
+	// Sensors is the sensor count n.
+	Sensors int
+	// Groups is the number of sensor groups (each with one access router).
+	Groups int
+	// Hubs is the size of the shared middle-hub pool.
+	Hubs int
+	// DestsPerSensor is how many destinations each sensor probes — the mesh
+	// is k-regular rather than full (a full 10k² mesh is 10⁸ paths; real
+	// deployments at this scale probe a bounded target set per sensor).
+	DestsPerSensor int
+	// FailedHubs is how many hub routers the injected event takes down.
+	FailedHubs int
+	// RerouteFrac is the fraction of impacted pairs that find an alternate
+	// hub route (producing reroute sets) instead of going unreachable
+	// (producing failure sets).
+	RerouteFrac float64
+	// Seed drives all sampling.
+	Seed int64
+}
+
+// DefaultLargeMesh returns the scalability-benchmark configuration for n
+// sensors.
+func DefaultLargeMesh(n int, seed int64) LargeMeshConfig {
+	g := n / 50
+	if g < 8 {
+		g = 8
+	}
+	if g > 96 {
+		g = 96
+	}
+	return LargeMeshConfig{
+		Sensors:        n,
+		Groups:         g,
+		Hubs:           16,
+		DestsPerSensor: 8,
+		FailedHubs:     3,
+		RerouteFrac:    0.35,
+		Seed:           seed,
+	}
+}
+
+// GenerateLargeMesh builds the before/after measurement mesh for a hub
+// failure event under cfg. Deterministic in cfg.
+func GenerateLargeMesh(cfg LargeMeshConfig) *core.Measurements {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n, g, h := cfg.Sensors, cfg.Groups, cfg.Hubs
+
+	sensorHop := make([]core.Hop, n)
+	for i := 0; i < n; i++ {
+		sensorHop[i] = core.Hop{Node: core.Node(fmt.Sprintf("s%d", i)), AS: topology.ASN(1 + i%g)}
+	}
+	accHop := make([]core.Hop, g)
+	for i := 0; i < g; i++ {
+		accHop[i] = core.Hop{Node: core.Node(fmt.Sprintf("acc%d", i)), AS: topology.ASN(1 + i)}
+	}
+	hubHop := make([]core.Hop, h)
+	for i := 0; i < h; i++ {
+		hubHop[i] = core.Hop{Node: core.Node(fmt.Sprintf("hub%d", i)), AS: topology.ASN(1000 + i)}
+	}
+
+	failed := make([]bool, h)
+	for _, idx := range rng.Perm(h)[:cfg.FailedHubs] {
+		failed[idx] = true
+	}
+
+	// hubPair picks the two middle hubs of a group pair; salt derives the
+	// detour route for rerouted pairs (salt 0 is the primary route).
+	hubPair := func(gi, gj, salt int) (int, int) {
+		a := (gi*7 + gj*13 + salt*29) % h
+		b := (a + 1 + (gi+gj+salt)%(h-1)) % h
+		return a, b
+	}
+	route := func(i, j, salt int) []core.Hop {
+		gi, gj := i%g, j%g
+		a, b := hubPair(gi, gj, salt)
+		return []core.Hop{sensorHop[i], accHop[gi], hubHop[a], hubHop[b], accHop[gj], sensorHop[j]}
+	}
+
+	m := &core.Measurements{NumSensors: n}
+	for i := 0; i < n; i++ {
+		for d := 0; d < cfg.DestsPerSensor; d++ {
+			j := rng.Intn(n)
+			if j == i {
+				j = (j + 1) % n
+			}
+			hops := route(i, j, 0)
+			m.Before = append(m.Before, &core.TracePath{SrcSensor: i, DstSensor: j, OK: true, Hops: hops})
+
+			gi, gj := i%g, j%g
+			a, b := hubPair(gi, gj, 0)
+			after := &core.TracePath{SrcSensor: i, DstSensor: j, OK: true, Hops: hops}
+			if failed[a] || failed[b] {
+				rerouted := false
+				if rng.Float64() < cfg.RerouteFrac {
+					// Try a few detours; take the first over healthy hubs.
+					for salt := 1; salt <= 3; salt++ {
+						da, db := hubPair(gi, gj, salt)
+						if !failed[da] && !failed[db] {
+							after = &core.TracePath{SrcSensor: i, DstSensor: j, OK: true, Hops: route(i, j, salt)}
+							rerouted = true
+							break
+						}
+					}
+				}
+				if !rerouted {
+					// Truncate at the last hop before the first failed hub.
+					cut := 2 // hops[2] is the first hub
+					if !failed[a] {
+						cut = 3
+					}
+					after = &core.TracePath{SrcSensor: i, DstSensor: j, OK: false, Hops: hops[:cut]}
+				}
+			}
+			m.After = append(m.After, after)
+		}
+	}
+	return m
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"netdiag/internal/core"
+	"netdiag/internal/telemetry"
+)
+
+func TestGenerateLargeMeshShape(t *testing.T) {
+	cfg := DefaultLargeMesh(600, 7)
+	m := GenerateLargeMesh(cfg)
+	if m.NumSensors != 600 {
+		t.Fatalf("NumSensors = %d", m.NumSensors)
+	}
+	if len(m.Before) != 600*cfg.DestsPerSensor || len(m.After) != len(m.Before) {
+		t.Fatalf("paths: %d before, %d after", len(m.Before), len(m.After))
+	}
+	var failures, reroutes int
+	for i, p := range m.After {
+		if !p.OK {
+			failures++
+		} else if len(p.Hops) != len(m.Before[i].Hops) || p.Hops[2] != m.Before[i].Hops[2] {
+			reroutes++
+		}
+	}
+	if failures == 0 || reroutes == 0 {
+		t.Fatalf("mesh has %d failures, %d reroutes; want both non-zero", failures, reroutes)
+	}
+	// Deterministic in the config.
+	again := GenerateLargeMesh(cfg)
+	if len(again.After) != len(m.After) {
+		t.Fatal("regeneration diverged")
+	}
+	for i := range m.After {
+		if m.After[i].OK != again.After[i].OK || len(m.After[i].Hops) != len(again.After[i].Hops) {
+			t.Fatalf("regeneration diverged at path %d", i)
+		}
+	}
+}
+
+// TestLargeMeshEngineEquivalence extends the differential net to the
+// benchmark generator's mesh shape (hub-concentrated overlapping sets) at a
+// size where the map engine is still cheap to run.
+func TestLargeMeshEngineEquivalence(t *testing.T) {
+	for _, seed := range []int64{7, 19} {
+		m := GenerateLargeMesh(DefaultLargeMesh(300, seed))
+		opts := edgeOpts()
+		res, err := core.Run(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Engine = core.EngineMap
+		ref, err := core.Run(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bb, mb bytes.Buffer
+		if err := res.Wire("nd-edge").Encode(&bb); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Wire("nd-edge").Encode(&mb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bb.Bytes(), mb.Bytes()) {
+			t.Fatalf("seed %d: engines diverge on large mesh\nbitset:\n%s\nmap:\n%s",
+				seed, bb.String(), mb.String())
+		}
+	}
+}
+
+// benchDiagnose runs a full ND-edge diagnosis of a hub-failure event on an
+// n-sensor mesh. Beyond the standard ns/op it reports the greedy-phase time
+// (from the run's telemetry spans — the phase the bitset engine vectorizes)
+// and a sensors-per-second throughput figure for the scalability curve.
+// benchjson's diagnose section pairs the Map and Bitset series into
+// speedup ratios.
+func benchDiagnose(b *testing.B, n int, engine core.EngineKind) {
+	m := GenerateLargeMesh(DefaultLargeMesh(n, 7))
+	opts := edgeOpts()
+	opts.Engine = engine
+	opts.Telemetry = telemetry.New()
+	var greedyNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(m, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Iterations == 0 || len(res.Hypothesis) == 0 {
+			b.Fatalf("degenerate diagnosis: %d iterations, %d hypothesis links",
+				res.Iterations, len(res.Hypothesis))
+		}
+		for _, sp := range res.Telemetry {
+			if sp.Name == "greedy" {
+				greedyNs += int64(sp.Duration)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(greedyNs)/float64(b.N), "greedy-ns/op")
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "sensors/s")
+}
+
+// BenchmarkDiagnoseBitset is the scalability series of the bitset engine;
+// 10000 sensors is the headline point — the map engine has no 10k entry
+// because full per-iteration rescoring makes it impractical there (see the
+// README performance table), and `make bench` runs every benchmark.
+func BenchmarkDiagnoseBitset(b *testing.B) {
+	for _, n := range []int{600, 2000, 10000} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) { benchDiagnose(b, n, core.EngineBitset) })
+	}
+}
+
+// BenchmarkDiagnoseMap is the reference series for the speedup ratios.
+func BenchmarkDiagnoseMap(b *testing.B) {
+	for _, n := range []int{600, 2000} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) { benchDiagnose(b, n, core.EngineMap) })
+	}
+}
